@@ -1,0 +1,53 @@
+"""Ablation: selection-threshold sensitivity (paper §6.1 criteria).
+
+Sweeps the misspeculation-cost threshold and the pre-fork size
+threshold on one benchmark and reports how many loops pass -- the
+design-space the paper's fixed thresholds sit in.
+"""
+
+from conftest import emit
+
+from repro.benchsuite import BY_NAME
+from repro.core import Workload, best_config, compile_spt
+from repro.frontend import compile_minic
+from repro.report.tables import format_table
+
+BENCH = "bzip2"
+
+
+def _selected_under(cost_fraction: float, prefork_fraction: float) -> int:
+    bench = BY_NAME[BENCH]
+    module = compile_minic(bench.source, name=bench.name)
+    config = best_config().with_overrides(
+        cost_fraction=cost_fraction, prefork_fraction=prefork_fraction
+    )
+    result = compile_spt(module, config, Workload(args=(bench.train_n,)))
+    return len(result.selected)
+
+
+def test_threshold_sweep(benchmark):
+    sweep = [
+        (0.02, 0.4),
+        (0.15, 0.4),
+        (0.50, 0.4),
+        (0.15, 0.1),
+        (0.15, 0.8),
+    ]
+
+    def run_sweep():
+        return [
+            (cost, pre, _selected_under(cost, pre)) for cost, pre in sweep
+        ]
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_thresholds",
+        format_table(
+            ["cost threshold", "pre-fork threshold", "#selected"],
+            rows,
+            title=f"Ablation: selection thresholds on {BENCH}",
+        ),
+    )
+    by_cost = {cost: n for cost, pre, n in rows if pre == 0.4}
+    # A looser cost threshold can only admit more loops.
+    assert by_cost[0.02] <= by_cost[0.15] <= by_cost[0.50]

@@ -1,0 +1,44 @@
+"""Ablation: loop unrolling's contribution (paper §7.1).
+
+The paper fattens small loop bodies to amortize fork/commit overheads.
+This bench compiles one benchmark with unrolling disabled, with the
+default target, and with an aggressive target, and compares the
+program speedups.
+"""
+
+from conftest import emit
+
+from repro.benchsuite import BY_NAME
+from repro.benchsuite.runner import run_benchmark
+from repro.core import best_config
+from repro.report.tables import format_table
+
+BENCH = "gap"
+
+
+def test_unroll_ablation(benchmark):
+    bench = BY_NAME[BENCH]
+    variants = [
+        ("no unrolling", best_config().with_overrides(enable_unrolling=False)),
+        ("target 64 (default)", best_config()),
+        ("target 128", best_config().with_overrides(unroll_target_size=128)),
+    ]
+
+    def run_all():
+        return [
+            (label, run_benchmark(bench, config, label).program_speedup)
+            for label, config in variants
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "ablation_unroll",
+        format_table(
+            ["configuration", "program speedup"],
+            rows,
+            title=f"Ablation: unrolling on {BENCH}",
+        ),
+    )
+    speedups = dict(rows)
+    # Unrolling must help versus tiny bodies.
+    assert speedups["target 64 (default)"] >= speedups["no unrolling"] - 0.02

@@ -1,0 +1,31 @@
+"""Figure 15: breakdown of loop candidates by transformability.
+
+The paper reports that only a minority of loops get a valid partition;
+~34% are while loops with too-small bodies, ~35% fail on iteration
+count or body size, and only a few are skipped for having too many
+violation candidates.
+"""
+
+from conftest import emit
+
+from repro.core.selection import (
+    CATEGORY_BODY_TOO_SMALL,
+    CATEGORY_TOO_MANY_VCS,
+    CATEGORY_VALID,
+)
+from repro.report import figure15_rows, figure15_text
+
+
+def test_fig15_loop_breakdown(benchmark):
+    rows = benchmark.pedantic(figure15_rows, rounds=1, iterations=1)
+    emit("fig15", figure15_text())
+
+    shares = {category: share for category, _, share in rows}
+    counts = {category: count for category, count, _ in rows}
+    assert sum(counts.values()) > 0
+    # Some loops are valid, but far from all of them.
+    assert 0.0 < shares[CATEGORY_VALID] < 0.8
+    # Small bodies are a major rejection reason (paper: 34%).
+    assert shares[CATEGORY_BODY_TOO_SMALL] > 0.05
+    # Too-many-VC skips are rare (paper: "only a few loops").
+    assert shares[CATEGORY_TOO_MANY_VCS] < 0.2

@@ -1,0 +1,24 @@
+"""Figure 17: average SPT loop body size and pre-fork characteristics.
+
+Paper: a speculative parallel loop executes ~400 instructions per
+iteration, and the pre-fork region is a small fraction of it (the whole
+point of the optimal partition is to keep the sequential part tiny).
+"""
+
+from conftest import emit
+
+from repro.report import figure17_rows, figure17_text
+
+
+def test_fig17_body_and_prefork(benchmark):
+    rows = benchmark.pedantic(figure17_rows, rounds=1, iterations=1)
+    emit("fig17", figure17_text())
+
+    populated = [row for row in rows if row[1] > 0]
+    assert populated, "no SPT loops selected"
+    for name, body_ops, pre_cycle_frac, pre_size_frac in populated:
+        # Unrolling fattens bodies well beyond the raw source loops.
+        assert body_ops > 20, (name, body_ops)
+        # Pre-fork regions stay a small fraction of the iteration.
+        assert pre_cycle_frac < 0.45, (name, pre_cycle_frac)
+        assert pre_size_frac < 0.45, (name, pre_size_frac)

@@ -1,0 +1,26 @@
+"""Figure 18: per-SPT-loop misspeculation ratio and loop speedup.
+
+Paper: the cost-driven selection keeps the average misspeculation ratio
+around 3% while the selected loops run ~26% faster than their
+sequential versions.
+"""
+
+from conftest import emit
+
+from repro.report import figure18_rows, figure18_text
+
+
+def test_fig18_loop_performance(benchmark):
+    rows = benchmark.pedantic(figure18_rows, rounds=1, iterations=1)
+    emit("fig18", figure18_text())
+
+    loops = rows[:-1]
+    avg_misspec, avg_speedup = rows[-1][1], rows[-1][2]
+    assert loops, "no SPT loops selected"
+    # Low misspeculation is the whole point of the cost model.
+    assert avg_misspec < 0.12
+    # Selected loops actually speed up.
+    assert avg_speedup > 1.15
+    for name, misspec, speedup in loops:
+        assert misspec < 0.35, (name, misspec)
+        assert speedup > 0.95, (name, speedup)

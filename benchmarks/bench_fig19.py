@@ -1,0 +1,23 @@
+"""Figure 19: compiler-estimated misspeculation cost vs. the measured
+re-execution ratio, per SPT loop.
+
+Paper: the two are well correlated, with the estimates on the
+conservative (high) side -- the data clusters toward the y-axis.
+"""
+
+from conftest import emit
+
+from repro.report import figure19_correlation, figure19_points, figure19_text
+
+
+def test_fig19_cost_vs_reexecution(benchmark):
+    points = benchmark.pedantic(figure19_points, rounds=1, iterations=1)
+    emit("fig19", figure19_text())
+
+    assert len(points) >= 3, "need several SPT loops to correlate"
+    correlation = figure19_correlation()
+    assert correlation > 0.3, f"estimate/measurement correlation {correlation}"
+
+    # Conservatism: on average the estimate sits above the measurement.
+    over = sum(1 for _, est, measured in points if est >= measured - 1e-9)
+    assert over >= len(points) * 0.6

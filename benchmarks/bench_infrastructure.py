@@ -1,0 +1,86 @@
+"""Microbenchmarks of the framework's own hot paths: interpreter
+throughput, cost-model evaluation, and dependence-graph construction.
+
+These are pytest-benchmark timings (multiple rounds) rather than
+one-shot experiment reproductions.
+"""
+
+import random
+
+from repro.analysis.depgraph import build_dep_graph
+from repro.analysis.loops import LoopNest
+from repro.core.costgraph import CostGraph
+from repro.core.costmodel import misspeculation_cost
+from repro.frontend import compile_minic
+from repro.ir import parse_module
+from repro.profiling import Machine
+from repro.ssa import build_ssa, optimize
+
+SOURCE = """
+global int data[512];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 511];
+        int a = x * 3 + i;
+        int b = (a << 2) ^ x;
+        data[i & 511] = b & 1023;
+        s += b & 31;
+    }
+    return s;
+}
+"""
+
+
+def _module():
+    module = compile_minic(SOURCE)
+    for func in module.functions.values():
+        build_ssa(func)
+        optimize(func)
+    return module
+
+
+def test_interpreter_throughput(benchmark):
+    module = _module()
+
+    def run():
+        return Machine(module).run("main", [2000])
+
+    result = benchmark(run)
+    assert isinstance(result, int)
+
+
+def _random_cost_graph(n_vcs: int, n_ops: int, seed: int = 1234) -> CostGraph:
+    rng = random.Random(seed)
+    cg = CostGraph()
+    vcs = [f"vc{i}" for i in range(n_vcs)]
+    ops = [f"op{i}" for i in range(n_ops)]
+    for vc in vcs:
+        cg.add_pseudo(vc, rng.random())
+    for op in ops:
+        cg.add_node(op, rng.uniform(0.5, 4.0))
+    for vc in vcs:
+        for op in rng.sample(ops, k=min(4, n_ops)):
+            cg.add_edge_from_pseudo(vc, op, rng.random())
+    for i in range(n_ops):
+        for j in rng.sample(range(i + 1, n_ops), k=min(3, n_ops - i - 1)):
+            cg.add_edge(ops[i], ops[j], rng.random())
+    return cg
+
+
+def test_cost_model_evaluation(benchmark):
+    cg = _random_cost_graph(n_vcs=20, n_ops=300)
+    prefork = {f"vc{i}" for i in range(0, 20, 2)}
+    cost = benchmark(lambda: misspeculation_cost(cg, prefork))
+    assert cost >= 0
+
+
+def test_depgraph_construction(benchmark):
+    module = _module()
+    func = module.function("main")
+    nest = LoopNest.build(func)
+    loop = nest.loops[0]
+
+    graph = benchmark(lambda: build_dep_graph(module, func, loop))
+    assert graph.nodes

@@ -1,0 +1,26 @@
+"""Table 1: IPC (excluding nops) of the non-SPT base reference.
+
+Regenerates the paper's Table 1 for the synthetic suite: each benchmark
+compiled without SPT and timed on one core.  The shape to check: gzip
+and bzip2 at the top (~1.7), the pointer-chasers mcf and vortex at the
+bottom.
+"""
+
+from conftest import emit
+
+from repro.report import PAPER_IPC, table1_rows, table1_text
+
+
+def test_table1_base_ipc(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    emit("table1", table1_text())
+
+    measured = {name: ipc for name, ipc, _ in rows}
+    # Shape assertions: the ranking extremes of Table 1 hold.
+    assert measured["mcf"] == min(measured.values())
+    assert measured["mcf"] < 0.8
+    assert measured["vortex"] < 1.2
+    assert measured["gzip"] > 1.4
+    assert measured["bzip2"] > 1.4
+    for name, ipc in measured.items():
+        assert abs(ipc - PAPER_IPC[name]) < 0.6, (name, ipc)

@@ -1,0 +1,24 @@
+"""Shared helpers for the evaluation benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.
+The expensive part -- compiling and simulating the ten-benchmark suite
+under the three compiler configurations -- is memoized inside
+``repro.report.experiments``, so the full harness performs it once per
+pytest session regardless of how many figures consume it.
+
+Every figure's rows are printed to stdout (visible with ``-s``) and
+written to ``benchmarks/results/<name>.txt``.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,79 @@
+"""Dependence profiling vs. static disambiguation (paper §7.3).
+
+The histogram loop ``freq[b]++`` looks hopeless to static analysis --
+every iteration may read what the previous one wrote -- but profiling
+shows consecutive iterations almost never hit the same bucket, so the
+dependence probability is tiny and the loop becomes speculation-
+friendly.
+
+Run:  python examples/dependence_profiling.py
+"""
+
+from repro.analysis.depgraph import build_dep_graph
+from repro.analysis.loops import LoopNest
+from repro.core.config import SptConfig
+from repro.core.partition import find_optimal_partition
+from repro.frontend import compile_minic
+from repro.profiling import DependenceProfile, run_module
+from repro.ssa import build_ssa
+
+SOURCE = """
+global int data[4096] aliased;
+global int freq[256];
+
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        data[i] = (i * 40961 + 17) & 255;
+    }
+    for (int i = 0; i < n; i++) {
+        int b = data[i];
+        int shifted = (b * 3 + 1) & 255;
+        freq[shifted] = freq[shifted] + 1;
+    }
+    return freq[7];
+}
+"""
+
+
+def main() -> None:
+    module = compile_minic(SOURCE, name="histogram")
+    profile = DependenceProfile(module)
+    run_module(module, args=[1500], tracers=[profile])
+
+    func = module.function("main")
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    histogram_loop = nest.loops[-1]
+
+    config = SptConfig()
+
+    static_graph = build_dep_graph(module, func, histogram_loop)
+    static_partition = find_optimal_partition(static_graph, config)
+
+    view = profile.view("main", histogram_loop)
+    profiled_graph = build_dep_graph(module, func, histogram_loop, dep_profile=view)
+    profiled_partition = find_optimal_partition(profiled_graph, config)
+
+    print("== Histogram loop: freq[b]++ ==")
+    print("cross-iteration memory edges (static analysis):")
+    for edge in static_graph.cross_true_edges():
+        if edge.carrier == "mem":
+            print(f"  p={edge.prob:.3f}  {edge.src!r} -> {edge.dst!r}")
+    print("cross-iteration memory edges (profiled):")
+    for edge in profiled_graph.cross_true_edges():
+        if edge.carrier == "mem":
+            print(f"  p={edge.prob:.3f}  {edge.src!r} -> {edge.dst!r}")
+
+    print(f"\noptimal misspeculation cost, static:   "
+          f"{static_partition.cost:.2f} (ratio {static_partition.cost_ratio:.2f})")
+    print(f"optimal misspeculation cost, profiled: "
+          f"{profiled_partition.cost:.2f} (ratio {profiled_partition.cost_ratio:.2f})")
+    threshold = config.cost_threshold(static_partition.body_size)
+    print(f"selection threshold: {threshold:.2f}")
+    print("\nThe basic (static) compilation must reject the loop; with the")
+    print("profile it becomes a speculative parallelization candidate --")
+    print("the paper's \"best\" compilation in miniature.")
+
+
+if __name__ == "__main__":
+    main()

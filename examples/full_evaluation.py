@@ -1,0 +1,46 @@
+"""Regenerate the paper's full evaluation (Table 1, Figures 14-19).
+
+This compiles and simulates all ten synthetic SPEC2000Int-like
+benchmarks under the basic, best, and anticipated configurations --
+expect a few minutes of runtime.
+
+Run:  python examples/full_evaluation.py [--quick]
+
+``--quick`` restricts the suite to three benchmarks for a fast look.
+"""
+
+import sys
+
+
+def main() -> None:
+    if "--quick" in sys.argv:
+        import repro.report.experiments as experiments
+        from repro.benchsuite.programs import BY_NAME
+
+        experiments.SUITE = [BY_NAME["bzip2"], BY_NAME["gap"], BY_NAME["vpr"]]
+
+    from repro.report import (
+        figure14_text,
+        figure15_text,
+        figure16_text,
+        figure17_text,
+        figure18_text,
+        figure19_text,
+        table1_text,
+    )
+
+    for block in (
+        table1_text(),
+        figure14_text(),
+        figure15_text(),
+        figure16_text(),
+        figure17_text(),
+        figure18_text(),
+        figure19_text(),
+    ):
+        print()
+        print(block)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""repro -- a cost-driven compilation framework for speculative
+parallelization of sequential programs.
+
+Reproduction of Du et al., PLDI 2004.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the evaluation results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,85 @@
+"""Type-based memory disambiguation.
+
+ORC's SPT framework relies on "static type-based memory disambiguation
+analysis" (paper §7.3) as the baseline the dependence profiler refines.
+Our equivalent reasons about *symbol sets*: every memory-touching node
+(load, store, impure call, inner-loop summary) exposes the set of array
+symbols it may access, with ``None`` marking an unknown access (raw
+pointer arithmetic, escaped array, or impure call):
+
+* nodes whose symbol sets are disjoint -- and fully known, and made of
+  non-escaping arrays -- never alias;
+* same-symbol accesses are disambiguated by constant offsets off the
+  same base register when possible;
+* anything involving an unknown may alias everything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.ir.function import Function, Module
+from repro.ir.instr import Call, Instr, Load, Store
+from repro.ir.values import Const
+
+
+def access_syms(instr: Instr) -> Set[Optional[str]]:
+    """Symbols ``instr`` may access; ``None`` means unknown memory."""
+    if isinstance(instr, (Load, Store)):
+        return {instr.sym}
+    if isinstance(instr, Call):
+        if instr.pure:
+            return set()
+        return {None}
+    syms = getattr(instr, "syms", None)
+    if syms is not None:  # LoopSummary and other aggregate nodes
+        return set(syms)
+    return {None} if (instr.reads_memory or instr.writes_memory) else set()
+
+
+def _escapes(module: Module, func: Function, sym: Optional[str]) -> bool:
+    if sym is None:
+        return True
+    decl = module.lookup_array(func, sym)
+    if decl is None:
+        return True
+    return decl.escapes
+
+
+def may_alias(module: Module, func: Function, a: Instr, b: Instr) -> bool:
+    """Whether memory nodes ``a`` and ``b`` may touch the same location."""
+    syms_a = access_syms(a)
+    syms_b = access_syms(b)
+    if not syms_a or not syms_b:
+        return False
+
+    unknown_a = any(_escapes(module, func, s) for s in syms_a)
+    unknown_b = any(_escapes(module, func, s) for s in syms_b)
+    if unknown_a or unknown_b:
+        return True
+    if not (syms_a & syms_b):
+        return False
+
+    # Same symbol: try constant-offset disambiguation on plain accesses.
+    if (
+        isinstance(a, (Load, Store))
+        and isinstance(b, (Load, Store))
+        and a.base == b.base
+        and isinstance(a.offset, Const)
+        and isinstance(b.offset, Const)
+    ):
+        return a.offset.value == b.offset.value
+    return True
+
+
+def same_location(a: Instr, b: Instr) -> bool:
+    """Whether two memory ops provably access the *same* location
+    (same symbol, same base register, identical offset operand)."""
+    if not isinstance(a, (Load, Store)) or not isinstance(b, (Load, Store)):
+        return False
+    return (
+        a.sym is not None
+        and a.sym == b.sym
+        and a.base == b.base
+        and a.offset == b.offset
+    )

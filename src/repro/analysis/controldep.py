@@ -1,0 +1,158 @@
+"""Post-dominators and control dependence over a loop-body sub-CFG.
+
+Control dependence matters twice in the SPT framework:
+
+* the *legality closure*: moving a statement into the pre-fork region
+  drags along the branch conditions it is control-dependent on (paper
+  Figure 12 replicates ``if (x<y)`` into the pre-fork region);
+* the *pre-fork CFG simplification*: duplicated branches guarding no
+  moved statement are elided.
+
+The computation is Ferrante-Ottenstein-Warren on the body sub-CFG, with
+a virtual exit node collecting the latch->header edge and any loop-exit
+edges so post-dominance is well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import Loop
+from repro.ir.function import Function
+
+_VIRTUAL_EXIT = "$exit"
+
+
+class BodyControlDeps:
+    """Control dependences among the blocks of one loop body."""
+
+    def __init__(self, deps: Dict[str, Set[Tuple[str, str]]]):
+        #: label -> set of (branch_block, taken_successor) pairs that the
+        #: label's execution depends on.
+        self.deps = deps
+
+    def controlling_branches(self, label: str) -> Set[str]:
+        """Blocks whose branch decides whether ``label`` executes."""
+        return {branch for branch, _ in self.deps.get(label, ())}
+
+    def is_conditional(self, label: str) -> bool:
+        """Whether ``label`` executes only on some iterations."""
+        return bool(self.deps.get(label))
+
+
+def _postdominators(
+    nodes: List[str], succs: Dict[str, List[str]], exit_node: str
+) -> Dict[str, Optional[str]]:
+    """Immediate post-dominators via the CHK algorithm on the reverse graph."""
+    preds: Dict[str, List[str]] = {n: [] for n in nodes}
+    for src, targets in succs.items():
+        for dst in targets:
+            preds[dst].append(src)
+
+    # Reverse postorder of the reversed graph, starting from the exit.
+    visited: Set[str] = set()
+    order: List[str] = []
+    stack: List[Tuple[str, int]] = [(exit_node, 0)]
+    visited.add(exit_node)
+    while stack:
+        current, index = stack[-1]
+        nxts = preds[current]
+        if index < len(nxts):
+            stack[-1] = (current, index + 1)
+            nxt = nxts[index]
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            order.append(current)
+            stack.pop()
+    order.reverse()
+    order_index = {label: i for i, label in enumerate(order)}
+
+    ipdom: Dict[str, Optional[str]] = {n: None for n in nodes}
+    ipdom[exit_node] = exit_node
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while order_index[a] > order_index[b]:
+                a = ipdom[a]
+            while order_index[b] > order_index[a]:
+                b = ipdom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == exit_node:
+                continue
+            known = [s for s in succs[label] if ipdom.get(s) is not None]
+            if not known:
+                continue
+            new = known[0]
+            for succ in known[1:]:
+                new = intersect(succ, new)
+            if ipdom[label] != new:
+                ipdom[label] = new
+                changed = True
+    ipdom[exit_node] = None
+    return ipdom
+
+
+def body_subgraph(
+    func: Function, loop: Loop, cfg: CFG = None
+) -> Tuple[List[str], Dict[str, List[str]]]:
+    """The loop-body CFG with a virtual exit.
+
+    Edges back to the header (from latches) and edges leaving the loop
+    both retarget to the virtual exit; the header's in-loop successors
+    are kept so the body is rooted at the header.
+    """
+    cfg = cfg or CFG.build(func)
+    nodes = sorted(loop.body) + [_VIRTUAL_EXIT]
+    succs: Dict[str, List[str]] = {n: [] for n in nodes}
+    for label in loop.body:
+        for succ in cfg.succs[label]:
+            if succ == loop.header or succ not in loop.body:
+                succs[label].append(_VIRTUAL_EXIT)
+            else:
+                succs[label].append(succ)
+    return nodes, succs
+
+
+def compute_control_deps(func: Function, loop: Loop, cfg: CFG = None) -> BodyControlDeps:
+    """Control dependences of every body block (FOW via post-dominators)."""
+    nodes, succs = body_subgraph(func, loop, cfg)
+    ipdom = _postdominators(nodes, succs, _VIRTUAL_EXIT)
+
+    deps: Dict[str, Set[Tuple[str, str]]] = {n: set() for n in nodes}
+    for branch_label in loop.body:
+        targets = succs[branch_label]
+        if len(set(targets)) < 2:
+            continue
+        for taken in targets:
+            if taken == _VIRTUAL_EXIT:
+                continue
+            # Walk the post-dominator tree from the taken successor up to
+            # (but not including) the branch's immediate post-dominator.
+            runner: Optional[str] = taken
+            stop = ipdom.get(branch_label)
+            while runner is not None and runner != stop:
+                deps[runner].add((branch_label, taken))
+                runner = ipdom.get(runner)
+    deps.pop(_VIRTUAL_EXIT, None)
+    return BodyControlDeps(deps)
+
+
+def immediate_postdominators(
+    func: Function, loop: Loop, cfg: CFG = None
+) -> Dict[str, Optional[str]]:
+    """Immediate post-dominator of each body block (virtual exit as None)."""
+    nodes, succs = body_subgraph(func, loop, cfg)
+    ipdom = _postdominators(nodes, succs, _VIRTUAL_EXIT)
+    return {
+        label: (None if parent == _VIRTUAL_EXIT else parent)
+        for label, parent in ipdom.items()
+        if label != _VIRTUAL_EXIT
+    }

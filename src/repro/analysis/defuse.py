@@ -1,0 +1,62 @@
+"""Def-use chains over SSA-form functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.ir.block import Block
+from repro.ir.function import Function
+from repro.ir.instr import Instr
+from repro.ir.values import Var
+
+
+class DefSite(NamedTuple):
+    """Where a register is defined."""
+
+    block: str
+    index: int
+    instr: Instr
+
+
+class UseSite(NamedTuple):
+    """Where a register is read."""
+
+    block: str
+    index: int
+    instr: Instr
+
+
+class DefUse:
+    """Definition and use sites for every register of an SSA function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.defs: Dict[Var, DefSite] = {}
+        self.uses: Dict[Var, List[UseSite]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for blk in self.func.blocks:
+            for index, instr in enumerate(blk.instrs):
+                dest = instr.dest
+                if dest is not None:
+                    if dest in self.defs:
+                        raise ValueError(
+                            f"{dest} defined twice; function not in SSA form"
+                        )
+                    self.defs[dest] = DefSite(blk.label, index, instr)
+                for value in instr.uses():
+                    if isinstance(value, Var):
+                        self.uses.setdefault(value, []).append(
+                            UseSite(blk.label, index, instr)
+                        )
+
+    def def_of(self, var: Var) -> Optional[DefSite]:
+        return self.defs.get(var)
+
+    def uses_of(self, var: Var) -> List[UseSite]:
+        return self.uses.get(var, [])
+
+    def is_dead(self, var: Var) -> bool:
+        """Whether ``var`` has no uses."""
+        return not self.uses.get(var)

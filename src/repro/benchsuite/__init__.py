@@ -1,0 +1,14 @@
+"""Synthetic SPEC2000Int-like workloads and the compile/simulate
+runner."""
+
+from repro.benchsuite.programs import BY_NAME, SUITE, Benchmark
+from repro.benchsuite.runner import BenchmarkRun, LoopReport, run_benchmark
+
+__all__ = [
+    "BY_NAME",
+    "Benchmark",
+    "BenchmarkRun",
+    "LoopReport",
+    "SUITE",
+    "run_benchmark",
+]

@@ -1,0 +1,341 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``):
+
+    repro compile prog.c --config best        # two-pass SPT compilation
+    repro run prog.c --args 100               # interpret a MiniC program
+    repro dump-ir prog.c [--ssa]              # lower (and SSA-convert)
+    repro simulate prog.c --args 500          # compile + SPT machine model
+    repro report table1 fig14 ...             # regenerate paper results
+
+Every command accepts MiniC source (``.c``-style) or textual IR
+(detected by the leading ``module``/``func`` keyword).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.loops import LoopNest
+from repro.core.config import (
+    SptConfig,
+    anticipated_config,
+    basic_config,
+    best_config,
+)
+from repro.core.pipeline import Workload, compile_spt
+from repro.frontend import compile_minic
+from repro.ir import format_module, parse_module
+from repro.ir.function import Module
+from repro.machine.spt_sim import SptTraceCollector, simulate_spt_loop
+from repro.machine.timing import TimingModel, TimingTracer
+from repro.profiling import Machine
+
+CONFIG_FACTORIES = {
+    "basic": basic_config,
+    "best": best_config,
+    "anticipated": anticipated_config,
+}
+
+
+def load_module(path: str, name: str = None) -> Module:
+    """Load MiniC or textual IR from ``path`` (``-`` for stdin)."""
+    if path == "-":
+        source = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            source = handle.read()
+    stripped = source.lstrip()
+    module_name = name or (path.rsplit("/", 1)[-1].split(".")[0])
+    if stripped.startswith("module ") or stripped.startswith("func "):
+        return parse_module(source)
+    return compile_minic(source, name=module_name)
+
+
+def _parse_args_list(raw: Optional[str]) -> List[int]:
+    if not raw:
+        return []
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = load_module(args.source)
+    machine = Machine(module, fuel=args.fuel)
+    tracer = None
+    if args.timing:
+        tracer = TimingTracer(TimingModel())
+        machine.add_tracer(tracer)
+    result = machine.run(args.entry, _parse_args_list(args.args))
+    print(f"result: {result}")
+    if tracer is not None:
+        print(f"instructions: {tracer.instructions}")
+        print(f"cycles:       {tracer.cycles:.0f}")
+        print(f"IPC:          {tracer.ipc:.3f}")
+    return 0
+
+
+def cmd_dump_ir(args: argparse.Namespace) -> int:
+    module = load_module(args.source)
+    if args.ssa:
+        from repro.ssa import build_ssa, optimize
+
+        for func in module.functions.values():
+            build_ssa(func)
+            if args.optimize:
+                optimize(func)
+    print(format_module(module), end="")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    module = load_module(args.source)
+    config = CONFIG_FACTORIES[args.config]()
+    workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
+    result = compile_spt(module, config, workload)
+
+    print(f"configuration: {args.config}")
+    print(f"loop candidates: {len(result.candidates)}")
+    for candidate in result.candidates:
+        partition = candidate.partition
+        line = (
+            f"  {candidate.func_name}:{candidate.loop.header:20s}"
+            f" {candidate.category:22s}"
+            f" size={candidate.dynamic_body_size:7.1f}"
+            f" trip={candidate.trip_count:8.1f}"
+        )
+        if partition is not None and not partition.skipped_too_many_vcs:
+            line += (
+                f" cost={partition.cost:7.2f}"
+                f" prefork={partition.prefork_size:6.1f}"
+                f" vcs={len(partition.candidates)}"
+            )
+        if candidate.svp_applied:
+            line += " [svp]"
+        print(line)
+    print(f"selected SPT loops: {[i.header for i in result.spt_loops]}")
+    if result.svp_infos:
+        print(f"value predictions: {result.svp_infos}")
+    if args.emit_ir:
+        print()
+        print(format_module(module), end="")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    module = load_module(args.source)
+    config = CONFIG_FACTORIES[args.config]()
+    train = _parse_args_list(args.train_args or args.args)
+    workload = Workload(entry=args.entry, args=tuple(train))
+    result = compile_spt(module, config, workload)
+    if not result.spt_loops:
+        print("no SPT loops selected; nothing to simulate")
+        return 1
+
+    collectors = []
+    for candidate, info in zip(result.selected, result.spt_loops):
+        func = module.function(candidate.func_name)
+        nest = LoopNest.build(func)
+        loop = next(
+            (l for l in nest.loops if l.header == candidate.loop.header), None
+        )
+        if loop is None:
+            continue
+        collectors.append(
+            SptTraceCollector(
+                candidate.func_name, loop.header, loop.body,
+                info.loop_id, TimingModel(),
+            )
+        )
+
+    machine = Machine(module, fuel=args.fuel)
+    tracer = TimingTracer(TimingModel())
+    machine.add_tracer(tracer)
+    for collector in collectors:
+        machine.add_tracer(collector)
+    result_value = machine.run(args.entry, _parse_args_list(args.args))
+
+    print(f"result: {result_value}")
+    print(f"single-core cycles: {tracer.cycles:.0f}  (IPC {tracer.ipc:.3f})")
+    total_delta = 0.0
+    for collector in collectors:
+        stats = simulate_spt_loop(collector)
+        total_delta += stats.spt_cycles - stats.seq_cycles
+        print(
+            f"  loop {stats.func_name}:{stats.header}: "
+            f"speedup {stats.loop_speedup:.2f}x, "
+            f"misspec {stats.misspeculation_ratio:.3f}, "
+            f"{stats.iterations} iterations"
+        )
+    spt_total = tracer.cycles + total_delta
+    if spt_total > 0:
+        print(f"program SPT cycles: {spt_total:.0f} "
+              f"(speedup {tracer.cycles / spt_total:.3f}x)")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.analysis.depgraph import build_dep_graph
+    from repro.core.costgraph import build_cost_graph
+    from repro.core.vcdep import VCDepGraph
+    from repro.core.violation import find_violation_candidates
+    from repro.report.dot import (
+        cfg_to_dot,
+        costgraph_to_dot,
+        depgraph_to_dot,
+        vcdep_to_dot,
+    )
+    from repro.ssa import build_ssa, optimize
+
+    module = load_module(args.source)
+    func = module.functions.get(args.function)
+    if func is None:
+        print(f"no function {args.function!r}", file=sys.stderr)
+        return 2
+    if args.what != "cfg" or args.ssa:
+        build_ssa(func)
+        optimize(func)
+    if args.what == "cfg":
+        print(cfg_to_dot(func))
+        return 0
+
+    nest = LoopNest.build(func)
+    if args.loop:
+        loop = next((l for l in nest.loops if l.header == args.loop), None)
+    else:
+        loop = nest.loops[0] if nest.loops else None
+    if loop is None:
+        print("no such loop (use --loop <header-label>)", file=sys.stderr)
+        return 2
+    graph = build_dep_graph(module, func, loop)
+    if args.what == "depgraph":
+        print(depgraph_to_dot(graph))
+        return 0
+    candidates = find_violation_candidates(graph)
+    if args.what == "costgraph":
+        print(costgraph_to_dot(build_cost_graph(graph, candidates)))
+        return 0
+    print(vcdep_to_dot(VCDepGraph(graph, candidates)))
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    import json
+
+    module = load_module(args.source)
+    config = CONFIG_FACTORIES[args.config]()
+    workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
+    result = compile_spt(module, config, workload)
+    print(json.dumps(result.to_dict(), indent=2))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import (
+        figure14_text,
+        figure15_text,
+        figure16_text,
+        figure17_text,
+        figure18_text,
+        figure19_text,
+        table1_text,
+    )
+
+    generators = {
+        "table1": table1_text,
+        "fig14": figure14_text,
+        "fig15": figure15_text,
+        "fig16": figure16_text,
+        "fig17": figure17_text,
+        "fig18": figure18_text,
+        "fig19": figure19_text,
+    }
+    targets = args.targets or list(generators)
+    for target in targets:
+        if target not in generators:
+            print(f"unknown report target {target!r}; "
+                  f"choose from {sorted(generators)}", file=sys.stderr)
+            return 2
+    for target in targets:
+        print()
+        print(generators[target]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-driven speculative parallelization (PLDI 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_source(p):
+        p.add_argument("source", help="MiniC or textual-IR file ('-' for stdin)")
+        p.add_argument("--entry", default="main", help="entry function")
+        p.add_argument("--args", default="", help="comma-separated int args")
+        p.add_argument("--fuel", type=int, default=50_000_000)
+
+    run_p = sub.add_parser("run", help="interpret a program")
+    add_source(run_p)
+    run_p.add_argument("--timing", action="store_true", help="report cycles/IPC")
+    run_p.set_defaults(fn=cmd_run)
+
+    dump_p = sub.add_parser("dump-ir", help="lower and print the IR")
+    add_source(dump_p)
+    dump_p.add_argument("--ssa", action="store_true", help="convert to SSA")
+    dump_p.add_argument("--optimize", action="store_true", help="run cleanup passes")
+    dump_p.set_defaults(fn=cmd_dump_ir)
+
+    compile_p = sub.add_parser("compile", help="two-pass SPT compilation")
+    add_source(compile_p)
+    compile_p.add_argument(
+        "--config", choices=sorted(CONFIG_FACTORIES), default="best"
+    )
+    compile_p.add_argument(
+        "--emit-ir", action="store_true", help="print the transformed IR"
+    )
+    compile_p.set_defaults(fn=cmd_compile)
+
+    sim_p = sub.add_parser("simulate", help="compile and run the SPT machine model")
+    add_source(sim_p)
+    sim_p.add_argument("--config", choices=sorted(CONFIG_FACTORIES), default="best")
+    sim_p.add_argument("--train-args", default=None,
+                       help="profiling args (defaults to --args)")
+    sim_p.set_defaults(fn=cmd_simulate)
+
+    report_p = sub.add_parser("report", help="regenerate paper tables/figures")
+    report_p.add_argument("targets", nargs="*", help="table1 fig14 ... (default: all)")
+    report_p.set_defaults(fn=cmd_report)
+
+    dot_p = sub.add_parser("dot", help="emit Graphviz dumps of compiler graphs")
+    dot_p.add_argument("source")
+    dot_p.add_argument(
+        "what", choices=["cfg", "depgraph", "costgraph", "vcdep"]
+    )
+    dot_p.add_argument("--function", default="main")
+    dot_p.add_argument("--loop", default=None, help="loop header label")
+    dot_p.add_argument("--ssa", action="store_true",
+                       help="convert to SSA before dumping the CFG")
+    dot_p.set_defaults(fn=cmd_dot)
+
+    summary_p = sub.add_parser(
+        "summary", help="compile and print a JSON compilation summary"
+    )
+    add_source(summary_p)
+    summary_p.add_argument(
+        "--config", choices=sorted(CONFIG_FACTORIES), default="best"
+    )
+    summary_p.set_defaults(fn=cmd_summary)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""The paper's primary contribution: the cost-driven SPT compilation
+framework (cost model, optimal partition search, two-pass selection and
+transformation, and the enabling techniques)."""
+
+from repro.core.config import (
+    SptConfig,
+    anticipated_config,
+    basic_config,
+    best_config,
+)
+from repro.core.costgraph import CostGraph, PseudoNode, build_cost_graph
+from repro.core.costmodel import (
+    CostEvaluator,
+    misspeculation_cost,
+    reexecution_probabilities,
+)
+from repro.core.partition import (
+    PartitionResult,
+    brute_force_partition,
+    find_optimal_partition,
+)
+from repro.core.pipeline import CompilationResult, Workload, compile_spt
+from repro.core.privatize import privatize
+from repro.core.regions import (
+    RegionSplit,
+    choose_region_split,
+    find_region_splits,
+    spine_blocks,
+)
+from repro.core.selection import (
+    ALL_CATEGORIES,
+    LoopCandidate,
+    category_histogram,
+    classify,
+    estimated_benefit,
+    select_spt_loops,
+)
+from repro.core.svp import SvpInfo, apply_svp, critical_candidates
+from repro.core.transform import (
+    SptLoopInfo,
+    TransformError,
+    check_transformable,
+    transform_loop,
+)
+from repro.core.unroll import UnrollReport, choose_factor, unroll_function, unroll_loop
+from repro.core.vcdep import VCDepGraph, closure_size, statement_closure
+from repro.core.violation import ViolationCandidate, find_violation_candidates
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "CompilationResult",
+    "CostEvaluator",
+    "CostGraph",
+    "LoopCandidate",
+    "PartitionResult",
+    "PseudoNode",
+    "RegionSplit",
+    "SptConfig",
+    "SptLoopInfo",
+    "SvpInfo",
+    "TransformError",
+    "UnrollReport",
+    "VCDepGraph",
+    "ViolationCandidate",
+    "Workload",
+    "anticipated_config",
+    "apply_svp",
+    "basic_config",
+    "best_config",
+    "brute_force_partition",
+    "build_cost_graph",
+    "category_histogram",
+    "check_transformable",
+    "choose_factor",
+    "choose_region_split",
+    "find_region_splits",
+    "spine_blocks",
+    "classify",
+    "closure_size",
+    "compile_spt",
+    "critical_candidates",
+    "estimated_benefit",
+    "find_optimal_partition",
+    "find_violation_candidates",
+    "misspeculation_cost",
+    "privatize",
+    "reexecution_probabilities",
+    "select_spt_loops",
+    "statement_closure",
+    "transform_loop",
+    "unroll_function",
+    "unroll_loop",
+]

@@ -1,0 +1,94 @@
+"""Misspeculation cost computation (paper §4.2.3-4.2.4).
+
+Given a cost graph and an SPT loop partition (the set of violation
+candidates placed in the pre-fork region), compute:
+
+1. each pseudo node's initial re-execution probability: 0 when its
+   candidate is pre-fork, its violation ratio otherwise;
+2. each operation node's re-execution probability in topological order,
+   folding predecessors under an independence assumption::
+
+       x = 1 - (1 - x) * (1 - r * v(p))
+
+3. the misspeculation cost ``sum v(c) * Cost(c)`` over operation nodes
+   (pseudo nodes excluded).
+
+The cost is monotonically non-increasing in the pre-fork set -- adding a
+candidate to the pre-fork region can only zero one pseudo node's
+probability -- which is the property the branch-and-bound partition
+search exploits (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Set
+
+from repro.core.costgraph import CostGraph, PseudoNode
+
+
+def reexecution_probabilities(
+    cg: CostGraph, prefork: Iterable[Hashable]
+) -> Dict[Hashable, float]:
+    """Re-execution probability of every node (pseudo keys included).
+
+    ``prefork`` holds the keys of violation candidates assigned to the
+    pre-fork region.
+    """
+    prefork_set: Set[Hashable] = set(prefork)
+    v: Dict[object, float] = {}
+
+    for key, pseudo in cg.pseudos.items():
+        v[pseudo] = 0.0 if key in prefork_set else pseudo.violation_prob
+
+    for node in cg.topo_nodes:
+        x = 0.0
+        for pred, r in cg.in_edges.get(node, ()):
+            pred_v = v.get(pred, 0.0) if isinstance(pred, PseudoNode) else v.get(pred, 0.0)
+            x = 1.0 - (1.0 - x) * (1.0 - r * pred_v)
+        v[node] = x
+
+    # Re-key pseudo entries by their candidate for external consumption.
+    result: Dict[Hashable, float] = {}
+    for node in cg.topo_nodes:
+        result[node] = v[node]
+    for key, pseudo in cg.pseudos.items():
+        result[("pseudo", key)] = v[pseudo]
+    return result
+
+
+def misspeculation_cost(cg: CostGraph, prefork: Iterable[Hashable]) -> float:
+    """Expected re-executed computation per speculative iteration
+    (§4.2.4)."""
+    prefork_set: Set[Hashable] = set(prefork)
+    v: Dict[object, float] = {}
+    for key, pseudo in cg.pseudos.items():
+        v[pseudo] = 0.0 if key in prefork_set else pseudo.violation_prob
+
+    total = 0.0
+    for node in cg.topo_nodes:
+        x = 0.0
+        for pred, r in cg.in_edges.get(node, ()):
+            x = 1.0 - (1.0 - x) * (1.0 - r * v.get(pred, 0.0))
+        v[node] = x
+        total += x * cg.costs[node]
+    return total
+
+
+class CostEvaluator:
+    """Memoized misspeculation-cost evaluation over candidate subsets.
+
+    The branch-and-bound search evaluates many nearby partitions; the
+    evaluator caches results by frozen pre-fork set.
+    """
+
+    def __init__(self, cg: CostGraph):
+        self.cg = cg
+        self._cache: Dict[FrozenSet, float] = {}
+        self.evaluations = 0
+
+    def cost(self, prefork: Iterable[Hashable]) -> float:
+        key = frozenset(prefork)
+        if key not in self._cache:
+            self.evaluations += 1
+            self._cache[key] = misspeculation_cost(self.cg, key)
+        return self._cache[key]

@@ -1,0 +1,229 @@
+"""Optimal SPT loop partitioning by branch-and-bound (paper §5.2).
+
+The search enumerates downward-closed subsets of the VC-dep graph in
+canonical order (only candidates with a larger topological number than
+anything already selected may be added, so each subset is visited once)
+and prunes with the two heuristics of §5.2.1:
+
+1. a subset whose pre-fork region size already exceeds the threshold is
+   not expanded (size grows monotonically along a search path);
+2. the cost of the best possible offspring of a subset ``S`` at cursor
+   position ``k`` is bounded below by the cost of ``S`` plus *every*
+   candidate with topological number above ``k`` moved pre-fork
+   (misspeculation cost decreases monotonically in the pre-fork set);
+   when that bound cannot beat the incumbent, the subtree is cut.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.analysis.depgraph import LoopDepGraph
+from repro.core.config import SptConfig
+from repro.core.costgraph import CostGraph, build_cost_graph
+from repro.core.costmodel import CostEvaluator
+from repro.core.vcdep import VCDepGraph
+from repro.core.violation import ViolationCandidate, find_violation_candidates
+from repro.ir.instr import Instr
+
+
+class PartitionResult:
+    """Outcome of the optimal-partition search for one loop."""
+
+    def __init__(
+        self,
+        loop,
+        candidates: List[ViolationCandidate],
+        prefork_vcs: List[ViolationCandidate],
+        prefork_stmts: Set[Instr],
+        cost: float,
+        prefork_size: float,
+        body_size: float,
+        search_nodes: int,
+        skipped_too_many_vcs: bool = False,
+    ):
+        self.loop = loop
+        self.candidates = candidates
+        #: Violation candidates assigned to the pre-fork region.
+        self.prefork_vcs = prefork_vcs
+        #: Full statement set of the pre-fork region (legality closure).
+        self.prefork_stmts = prefork_stmts
+        #: Optimal misspeculation cost (§4.2.4 units).
+        self.cost = cost
+        #: Pre-fork region size in elementary operations.
+        self.prefork_size = prefork_size
+        self.body_size = body_size
+        #: Number of subsets the branch-and-bound evaluated.
+        self.search_nodes = search_nodes
+        #: True when the loop had too many VCs and was skipped (§5.2).
+        self.skipped_too_many_vcs = skipped_too_many_vcs
+
+    @property
+    def cost_ratio(self) -> float:
+        """Misspeculation cost relative to loop body size."""
+        return self.cost / self.body_size if self.body_size else float("inf")
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionResult(cost={self.cost:.3f}, "
+            f"prefork={len(self.prefork_vcs)}/{len(self.candidates)} VCs, "
+            f"size={self.prefork_size:.1f}/{self.body_size:.1f})"
+        )
+
+
+def find_optimal_partition(
+    graph: LoopDepGraph,
+    config: SptConfig = None,
+    candidates: List[ViolationCandidate] = None,
+    cost_graph: CostGraph = None,
+    use_pruning: bool = True,
+) -> PartitionResult:
+    """Search the optimal SPT partition for one loop.
+
+    ``use_pruning=False`` disables heuristic 2 (for the ablation bench;
+    the canonical-order constraint and the size bound stay, as without
+    them the enumeration would revisit subsets).
+    """
+    config = config or SptConfig()
+    loop = graph.loop
+    body_size = loop.body_size(graph.func)
+
+    if candidates is None:
+        candidates = find_violation_candidates(graph)
+
+    if len(candidates) > config.max_violation_candidates:
+        return PartitionResult(
+            loop,
+            candidates,
+            prefork_vcs=[],
+            prefork_stmts=set(),
+            cost=float("inf"),
+            prefork_size=0.0,
+            body_size=body_size,
+            search_nodes=0,
+            skipped_too_many_vcs=True,
+        )
+
+    if cost_graph is None:
+        cost_graph = build_cost_graph(graph, candidates)
+    evaluator = CostEvaluator(cost_graph)
+
+    # Candidates already in the header block execute before the fork by
+    # construction (the fork sits after the header); they are pre-fork
+    # for free and are not searched.
+    forced = {
+        vc.instr
+        for vc in candidates
+        if graph.info[vc.instr].block == graph.loop.header
+    }
+    searchable = [vc for vc in candidates if vc.instr not in forced]
+
+    vcdep = VCDepGraph(graph, searchable)
+    size_threshold = config.prefork_size_threshold(body_size)
+
+    def vc_keys(indices) -> Set[Instr]:
+        keys = {vcdep.candidates[i].instr for i in indices}
+        keys |= forced
+        return keys
+
+    best_cost = evaluator.cost(forced)
+    best_set: Set[int] = set()
+    search_nodes = 1
+    node_budget = config.max_search_nodes
+
+    def lower_bound(selected: Set[int], cursor: int) -> float:
+        """Cost if every candidate beyond ``cursor`` also moved pre-fork."""
+        optimistic = set(selected)
+        optimistic.update(range(cursor + 1, len(vcdep)))
+        return evaluator.cost(vc_keys(optimistic))
+
+    def search(selected: Set[int], cursor: int) -> None:
+        nonlocal best_cost, best_set, search_nodes
+        for index in vcdep.addable(selected, cursor):
+            if search_nodes >= node_budget:
+                return
+            child = selected | {index}
+            size = vcdep.partition_size(child)
+            if size > size_threshold:
+                # Pruning heuristic 1: size is monotone along the path.
+                continue
+            search_nodes += 1
+            cost = evaluator.cost(vc_keys(child))
+            if cost < best_cost - 1e-12 or (
+                abs(cost - best_cost) <= 1e-12 and len(child) < len(best_set)
+            ):
+                best_cost = cost
+                best_set = set(child)
+            if use_pruning and lower_bound(child, index) >= best_cost - 1e-12:
+                # Pruning heuristic 2: no offspring can improve.
+                continue
+            search(child, index)
+
+    search(set(), -1)
+
+    prefork_vcs = [vcdep.candidates[i] for i in sorted(best_set)]
+    prefork_stmts = vcdep.union_closure(best_set)
+    return PartitionResult(
+        loop,
+        candidates,
+        prefork_vcs=prefork_vcs,
+        prefork_stmts=prefork_stmts,
+        cost=best_cost,
+        prefork_size=vcdep.partition_size(best_set),
+        body_size=body_size,
+        search_nodes=search_nodes,
+    )
+
+
+def brute_force_partition(
+    graph: LoopDepGraph,
+    config: SptConfig = None,
+    candidates: List[ViolationCandidate] = None,
+) -> Optional[PartitionResult]:
+    """Exhaustive reference implementation for testing: enumerate every
+    downward-closed subset within the size threshold."""
+    config = config or SptConfig()
+    loop = graph.loop
+    body_size = loop.body_size(graph.func)
+    if candidates is None:
+        candidates = find_violation_candidates(graph)
+    cost_graph = build_cost_graph(graph, candidates)
+    evaluator = CostEvaluator(cost_graph)
+    forced = {
+        vc.instr
+        for vc in candidates
+        if graph.info[vc.instr].block == graph.loop.header
+    }
+    searchable = [vc for vc in candidates if vc.instr not in forced]
+    vcdep = VCDepGraph(graph, searchable)
+    threshold = config.prefork_size_threshold(body_size)
+
+    n = len(vcdep)
+    best_cost = float("inf")
+    best_set: Set[int] = set()
+    explored = 0
+    for mask in range(1 << n):
+        selected = {i for i in range(n) if mask & (1 << i)}
+        if not vcdep.downward_closed(selected):
+            continue
+        if vcdep.partition_size(selected) > threshold:
+            continue
+        explored += 1
+        cost = evaluator.cost(
+            {vcdep.candidates[i].instr for i in selected} | forced
+        )
+        if cost < best_cost - 1e-12 or (
+            abs(cost - best_cost) <= 1e-12 and len(selected) < len(best_set)
+        ):
+            best_cost = cost
+            best_set = selected
+    return PartitionResult(
+        loop,
+        candidates,
+        prefork_vcs=[vcdep.candidates[i] for i in sorted(best_set)],
+        prefork_stmts=vcdep.union_closure(best_set),
+        cost=best_cost,
+        prefork_size=vcdep.partition_size(best_set),
+        body_size=body_size,
+        search_nodes=explored,
+    )

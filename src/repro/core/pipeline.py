@@ -1,0 +1,374 @@
+"""The two-pass SPT compilation driver (paper §3.2, Figure 4).
+
+Pass 1 ("explore"): unroll, build SSA, profile, and for every loop of
+every function -- at every nesting level -- build the annotated
+dependence graph, identify violation candidates, and search the optimal
+SPT partition.  Nothing is transformed yet; the result is a list of
+:class:`~repro.core.selection.LoopCandidate` records.
+
+An optional SVP round sits between the passes: loops rejected for high
+misspeculation cost get their critical violation candidates value-
+profiled, and predictable ones are rewritten with software value
+prediction (§7.2), after which the affected loops are re-analyzed.
+
+Pass 2 ("commit"): select the good SPT loops globally (§6.1) and apply
+the SPT transformation (§6.2) to exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.depgraph import LoopDepGraph, build_dep_graph
+from repro.analysis.loops import Loop, LoopNest
+from repro.analysis.modref import ModRefSummaries
+from repro.core.config import SptConfig
+from repro.core.costgraph import build_cost_graph
+from repro.core.partition import PartitionResult, find_optimal_partition
+from repro.core.privatize import privatize
+from repro.core.selection import (
+    CATEGORY_IRREGULAR,
+    LoopCandidate,
+    category_histogram,
+    select_spt_loops,
+)
+from repro.core.svp import SvpInfo, apply_svp, critical_candidates
+from repro.core.transform import (
+    SptLoopInfo,
+    TransformError,
+    check_transformable,
+    transform_loop,
+)
+from repro.core.unroll import UnrollReport, unroll_function
+from repro.core.violation import find_violation_candidates
+from repro.ir.function import Module
+from repro.profiling.dep_profile import DependenceProfile
+from repro.profiling.edge_profile import EdgeProfile
+from repro.profiling.interp import Machine
+from repro.profiling.value_profile import ValueProfile
+from repro.ssa.construct import build_ssa
+from repro.ssa.optimize import optimize
+
+
+@dataclass
+class Workload:
+    """How to run the program for profiling."""
+
+    entry: str = "main"
+    args: tuple = ()
+    intrinsics: Dict[str, Callable] = field(default_factory=dict)
+    fuel: int = 50_000_000
+
+
+class CompilationResult:
+    """Everything the two-pass compilation produced."""
+
+    def __init__(self, module: Module, config: SptConfig):
+        self.module = module
+        self.config = config
+        #: Every loop candidate, classified.
+        self.candidates: List[LoopCandidate] = []
+        #: The selected (and successfully transformed) SPT loops.
+        self.selected: List[LoopCandidate] = []
+        self.spt_loops: List[SptLoopInfo] = []
+        self.unroll_reports: Dict[str, UnrollReport] = {}
+        self.svp_infos: List[SvpInfo] = []
+        self.edge_profile: Optional[EdgeProfile] = None
+        self.dep_profile: Optional[DependenceProfile] = None
+        #: §9 future work: beneficial intra-iteration splits found for
+        #: loops whose bodies exceeded the SPT size limit.
+        self.region_splits: List = []
+        #: (func_name, header) -> PartitionResult for the final analysis.
+        self.partitions: Dict[Tuple[str, str], PartitionResult] = {}
+
+    def category_histogram(self) -> Dict[str, int]:
+        return category_histogram(self.candidates)
+
+    def spt_loop_keys(self) -> List[Tuple[str, str]]:
+        return [(c.func_name, c.loop.header) for c in self.selected]
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable summary (for tooling and the CLI)."""
+        candidates = []
+        for c in self.candidates:
+            entry = {
+                "function": c.func_name,
+                "header": c.loop.header,
+                "category": c.category,
+                "dynamic_body_size": round(c.dynamic_body_size, 2),
+                "trip_count": round(c.trip_count, 2),
+                "selected": c.selected,
+                "svp_applied": c.svp_applied,
+            }
+            if c.partition is not None and not c.partition.skipped_too_many_vcs:
+                entry["misspeculation_cost"] = round(c.partition.cost, 4)
+                entry["prefork_size"] = round(c.partition.prefork_size, 2)
+                entry["violation_candidates"] = len(c.partition.candidates)
+                entry["search_nodes"] = c.partition.search_nodes
+            candidates.append(entry)
+        return {
+            "candidates": candidates,
+            "selected": [
+                {"function": f, "header": h} for f, h in self.spt_loop_keys()
+            ],
+            "categories": self.category_histogram(),
+            "svp": [
+                {
+                    "variable": info.var_base,
+                    "stride": info.stride,
+                    "hit_rate": round(info.hit_rate, 4),
+                }
+                for info in self.svp_infos
+            ],
+            "unrolled": {
+                name: report.unrolled
+                for name, report in self.unroll_reports.items()
+                if report.unrolled
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompilationResult({len(self.selected)}/"
+            f"{len(self.candidates)} loops selected)"
+        )
+
+
+def _profile(module: Module, workload: Workload, tracers) -> None:
+    machine = Machine(module, fuel=workload.fuel)
+    for name, fn in workload.intrinsics.items():
+        machine.register_intrinsic(name, fn)
+    for tracer in tracers:
+        machine.add_tracer(tracer)
+    machine.run(workload.entry, list(workload.args))
+
+
+def _analyze_loop(
+    module: Module,
+    func,
+    loop: Loop,
+    config: SptConfig,
+    edge_profile: EdgeProfile,
+    dep_profile: Optional[DependenceProfile],
+    modref: Optional[ModRefSummaries],
+) -> Tuple[LoopCandidate, Optional[LoopDepGraph]]:
+    """Run the pass-1 core (Figure 3) on one loop."""
+    cfg = CFG.build(func)
+    trip = edge_profile.trip_count(func, loop, cfg)
+    iterations = edge_profile.loop_iterations(func, loop, cfg)
+
+    try:
+        check_transformable(func, loop, cfg)
+    except TransformError:
+        candidate = LoopCandidate(
+            func.name,
+            loop,
+            partition=None,
+            dynamic_body_size=loop.body_size(func),
+            trip_count=trip,
+            total_iterations=iterations,
+            irregular=True,
+        )
+        return candidate, None
+
+    dep_view = dep_profile.view(func.name, loop) if dep_profile else None
+    graph = build_dep_graph(
+        module,
+        func,
+        loop,
+        edge_profile=edge_profile,
+        dep_profile=dep_view,
+        static_mem_prob=config.static_mem_prob,
+        static_call_prob=config.static_call_prob,
+        modref=modref,
+    )
+    if config.enable_privatization:
+        privatize(graph)
+
+    dynamic_size = sum(
+        info.instr.cost * info.reach for info in graph.info.values()
+    )
+    partition = find_optimal_partition(graph, config)
+    candidate = LoopCandidate(
+        func.name,
+        loop,
+        partition=partition,
+        dynamic_body_size=dynamic_size,
+        trip_count=trip,
+        total_iterations=iterations,
+    )
+    return candidate, graph
+
+
+def compile_spt(
+    module: Module, config: SptConfig, workload: Workload
+) -> CompilationResult:
+    """Run the full two-pass SPT compilation on ``module`` in place."""
+    result = CompilationResult(module, config)
+
+    # -- loop preprocessing: unrolling (pre-SSA, §7.1) -------------------
+    for func in module.functions.values():
+        result.unroll_reports[func.name] = unroll_function(func, config)
+
+    # -- SSA construction + cleanup (our WOPT stand-in) -----------------
+    for func in module.functions.values():
+        build_ssa(func)
+        optimize(func)
+
+    # -- profiling runs -----------------------------------------------------
+    edge_profile = EdgeProfile()
+    tracers = [edge_profile]
+    dep_profile = None
+    if config.enable_dep_profiling:
+        dep_profile = DependenceProfile(module)
+        tracers.append(dep_profile)
+    _profile(module, workload, tracers)
+    result.edge_profile = edge_profile
+    result.dep_profile = dep_profile
+
+    modref = ModRefSummaries(module) if config.enable_modref_summaries else None
+
+    # -- pass 1: evaluate every nesting level of every loop ------------------
+    graphs: Dict[Tuple[str, str], LoopDepGraph] = {}
+    candidates: List[LoopCandidate] = []
+    for func in module.functions.values():
+        nest = LoopNest.build(func)
+        for loop in nest.loops:
+            candidate, graph = _analyze_loop(
+                module, func, loop, config, edge_profile, dep_profile, modref
+            )
+            candidates.append(candidate)
+            if graph is not None:
+                graphs[(func.name, loop.header)] = graph
+
+    # -- SVP round (§7.2) ------------------------------------------------------
+    if config.enable_svp:
+        candidates, graphs = _svp_round(
+            module,
+            config,
+            workload,
+            candidates,
+            graphs,
+            edge_profile,
+            dep_profile,
+            modref,
+            result,
+        )
+
+    result.candidates = candidates
+    for candidate in candidates:
+        if candidate.partition is not None:
+            result.partitions[
+                (candidate.func_name, candidate.loop.header)
+            ] = candidate.partition
+
+    # -- §9 future work: region splits for too-large bodies ------------------
+    if config.enable_region_speculation:
+        from repro.core.regions import choose_region_split
+        from repro.core.selection import CATEGORY_BODY_TOO_LARGE, classify
+
+        for candidate in candidates:
+            if candidate.partition is None or candidate.irregular:
+                continue
+            if classify(candidate, config) != CATEGORY_BODY_TOO_LARGE:
+                continue
+            graph = graphs.get((candidate.func_name, candidate.loop.header))
+            if graph is None:
+                continue
+            func = module.function(candidate.func_name)
+            split = choose_region_split(func, candidate.loop, graph, config)
+            if split is not None:
+                result.region_splits.append(split)
+
+    # -- pass 2: global selection + transformation -----------------------------
+    selected = select_spt_loops(candidates, config)
+    for candidate in selected:
+        func = module.function(candidate.func_name)
+        graph = graphs.get((candidate.func_name, candidate.loop.header))
+        try:
+            info = transform_loop(
+                module, func, candidate.loop, candidate.partition, graph
+            )
+        except TransformError:
+            candidate.selected = False
+            candidate.category = CATEGORY_IRREGULAR
+            continue
+        result.spt_loops.append(info)
+        result.selected.append(candidate)
+
+    return result
+
+
+def _svp_round(
+    module,
+    config,
+    workload,
+    candidates,
+    graphs,
+    edge_profile,
+    dep_profile,
+    modref,
+    result,
+):
+    """Value-profile critical VCs of high-cost loops, apply SVP, and
+    re-analyze the loops that changed."""
+    from repro.core.selection import CATEGORY_HIGH_COST, classify
+
+    svp_targets = []  # (candidate, vc)
+    for candidate in candidates:
+        if candidate.partition is None or candidate.irregular:
+            continue
+        if classify(candidate, config) != CATEGORY_HIGH_COST:
+            continue
+        graph = graphs.get((candidate.func_name, candidate.loop.header))
+        if graph is None:
+            continue
+        cost_graph = build_cost_graph(graph, candidate.partition.candidates)
+        for vc, _contribution in critical_candidates(
+            candidate.partition, cost_graph
+        ):
+            if vc.instr.dest is not None:
+                svp_targets.append((candidate, vc))
+
+    if not svp_targets:
+        return candidates, graphs
+
+    value_profile = ValueProfile([vc.instr for _, vc in svp_targets])
+    _profile(module, workload, [value_profile])
+
+    changed_funcs = set()
+    for candidate, vc in svp_targets:
+        pattern = value_profile.pattern_for(vc.instr)
+        if not pattern.predictable or pattern.hit_rate < config.svp_min_hit_rate:
+            continue
+        func = module.function(candidate.func_name)
+        info = apply_svp(module, func, candidate.loop, vc, pattern)
+        if info is not None:
+            result.svp_infos.append(info)
+            changed_funcs.add(candidate.func_name)
+
+    if not changed_funcs:
+        return candidates, graphs
+
+    # Re-analyze every loop in the functions SVP touched.
+    new_candidates = []
+    for candidate in candidates:
+        if candidate.func_name not in changed_funcs:
+            new_candidates.append(candidate)
+            continue
+        func = module.function(candidate.func_name)
+        nest = LoopNest.build(func)
+        matching = [l for l in nest.loops if l.header == candidate.loop.header]
+        if not matching:
+            new_candidates.append(candidate)
+            continue
+        refreshed, graph = _analyze_loop(
+            module, func, matching[0], config, edge_profile, dep_profile, modref
+        )
+        refreshed.svp_applied = True
+        new_candidates.append(refreshed)
+        if graph is not None:
+            graphs[(candidate.func_name, matching[0].header)] = graph
+    return new_candidates, graphs

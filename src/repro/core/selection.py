@@ -1,0 +1,176 @@
+"""SPT loop selection (paper §6.1).
+
+Pass 2 looks at every loop candidate of the program *together* and
+selects the good SPT loops:
+
+1. misspeculation cost below a fraction of the loop body size;
+2. pre-fork region below a fraction of the loop body size;
+3. body size within [min, max] (too small cannot amortize the fork
+   overhead; too large exceeds the speculative buffering the hardware
+   can hold);
+4. expected iteration count of at least 2.
+
+Within one loop nest only one level may become an SPT loop (the machine
+has a single speculative core); conflicts are resolved by estimated
+benefit: loop cycle coverage times the per-round speedup the SPT
+execution model predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import SptConfig
+from repro.core.partition import PartitionResult
+
+#: Rejection / acceptance categories (the paper's Figure 15 breakdown).
+CATEGORY_VALID = "valid_partition"
+CATEGORY_TOO_MANY_VCS = "too_many_vcs"
+CATEGORY_HIGH_COST = "high_cost"
+CATEGORY_BODY_TOO_SMALL = "body_too_small"
+CATEGORY_BODY_TOO_LARGE = "body_too_large"
+CATEGORY_LOW_TRIP = "low_trip_count"
+CATEGORY_IRREGULAR = "irregular_control_flow"
+CATEGORY_NEST_CONFLICT = "nest_conflict"
+CATEGORY_NO_BENEFIT = "no_estimated_benefit"
+
+ALL_CATEGORIES = (
+    CATEGORY_VALID,
+    CATEGORY_TOO_MANY_VCS,
+    CATEGORY_HIGH_COST,
+    CATEGORY_BODY_TOO_SMALL,
+    CATEGORY_BODY_TOO_LARGE,
+    CATEGORY_LOW_TRIP,
+    CATEGORY_IRREGULAR,
+    CATEGORY_NEST_CONFLICT,
+    CATEGORY_NO_BENEFIT,
+)
+
+
+class LoopCandidate:
+    """One loop evaluated by pass 1, with everything pass 2 needs."""
+
+    def __init__(
+        self,
+        func_name: str,
+        loop,
+        partition: Optional[PartitionResult],
+        dynamic_body_size: float,
+        trip_count: float,
+        total_iterations: int,
+        svp_applied: bool = False,
+        irregular: bool = False,
+    ):
+        self.func_name = func_name
+        self.loop = loop
+        self.partition = partition
+        #: Expected per-iteration work (elementary ops, inner loops
+        #: weighted by trip count).
+        self.dynamic_body_size = dynamic_body_size
+        #: Average iterations per loop entry (profiled).
+        self.trip_count = trip_count
+        #: Total header executions in the profiling run (for coverage
+        #: and benefit ranking).
+        self.total_iterations = total_iterations
+        self.svp_applied = svp_applied
+        self.irregular = irregular
+        #: Filled by :func:`select_spt_loops`.
+        self.category: Optional[str] = None
+        self.selected = False
+
+    @property
+    def key(self) -> str:
+        return f"{self.func_name}:{self.loop.header}"
+
+    def __repr__(self) -> str:
+        return f"LoopCandidate({self.key}, {self.category})"
+
+
+def classify(candidate: LoopCandidate, config: SptConfig) -> str:
+    """Apply the §6.1 criteria; returns a category constant."""
+    if candidate.irregular:
+        return CATEGORY_IRREGULAR
+    partition = candidate.partition
+    if partition is None or partition.skipped_too_many_vcs:
+        return CATEGORY_TOO_MANY_VCS
+    size = candidate.dynamic_body_size
+    if size < config.min_body_size:
+        return CATEGORY_BODY_TOO_SMALL
+    if size > config.max_body_size:
+        return CATEGORY_BODY_TOO_LARGE
+    if candidate.trip_count < config.min_trip_count:
+        return CATEGORY_LOW_TRIP
+    if partition.cost > config.cost_threshold(size):
+        return CATEGORY_HIGH_COST
+    if partition.prefork_size > config.prefork_size_threshold(size):
+        return CATEGORY_HIGH_COST
+    return CATEGORY_VALID
+
+
+def estimated_benefit(candidate: LoopCandidate, config: SptConfig) -> float:
+    """Cycles the SPT execution of this loop is expected to save.
+
+    One SPT round runs two iterations: the main thread executes the
+    pre-fork region sequentially, both threads overlap on the rest, and
+    the round pays fork + commit overheads plus the expected re-executed
+    work (the misspeculation cost)."""
+    partition = candidate.partition
+    if partition is None:
+        return 0.0
+    cpo = config.cycles_per_op
+    work = candidate.dynamic_body_size * cpo
+    prefork = partition.prefork_size * cpo
+    reexec = partition.cost * cpo
+    overhead = config.fork_overhead_cycles + config.commit_overhead_cycles
+    round_spt = work + prefork + reexec + overhead
+    round_seq = 2.0 * work
+    if round_spt >= round_seq * config.selection_margin:
+        return 0.0
+    rounds = candidate.total_iterations / 2.0
+    return rounds * (round_seq - round_spt)
+
+
+def select_spt_loops(
+    candidates: List[LoopCandidate], config: SptConfig
+) -> List[LoopCandidate]:
+    """Classify every candidate and pick the selected SPT loops.
+
+    Nest conflicts (an SPT loop inside another SPT loop) are resolved
+    greedily by estimated benefit.
+    """
+    for candidate in candidates:
+        candidate.category = classify(candidate, config)
+        candidate.selected = False
+
+    valid = [c for c in candidates if c.category == CATEGORY_VALID]
+    valid.sort(key=lambda c: -estimated_benefit(c, config))
+
+    by_key: Dict[str, LoopCandidate] = {c.key: c for c in candidates}
+    selected: List[LoopCandidate] = []
+
+    def conflicts(a: LoopCandidate, b: LoopCandidate) -> bool:
+        if a.func_name != b.func_name:
+            return False
+        return (
+            a.loop.header in b.loop.body or b.loop.header in a.loop.body
+        )
+
+    for candidate in valid:
+        if estimated_benefit(candidate, config) <= 0.0:
+            candidate.category = CATEGORY_NO_BENEFIT
+            continue
+        if any(conflicts(candidate, chosen) for chosen in selected):
+            candidate.category = CATEGORY_NEST_CONFLICT
+            continue
+        candidate.selected = True
+        selected.append(candidate)
+    return selected
+
+
+def category_histogram(candidates: List[LoopCandidate]) -> Dict[str, int]:
+    """Counts per category -- the paper's Figure 15 series."""
+    histogram = {category: 0 for category in ALL_CATEGORIES}
+    for candidate in candidates:
+        if candidate.category is not None:
+            histogram[candidate.category] += 1
+    return histogram

@@ -1,0 +1,277 @@
+"""Loop unrolling (paper §7.1).
+
+SPT loops need bodies big enough to amortize the fork/commit overheads,
+so small loops are unrolled before everything else -- the paper inserts
+a loop-unrolling pragma before ORC's LNO phase; our equivalent runs on
+the pre-SSA IR right after the frontend.
+
+The unroller recognizes *counted* loops::
+
+    header:  c = lt i, n ; br c, body..., exit
+    body:    ... exactly one  i = i + step  ...
+
+and performs guarded unrolling: a new guard header tests ``i + (k-1) *
+step < n`` and runs ``k`` test-free body copies per trip; iterations
+that fail the guard fall into the original loop, which survives intact
+as the remainder.  The unrolled loop keeps a single header-exit, which
+is exactly the shape the SPT transformation requires.
+
+ORC could only unroll counted DO loops; ``while`` loops whose condition
+happens to match the counted pattern are only unrolled when
+``SptConfig.unroll_while_loops`` is set (the paper's *anticipated*
+while-loop unrolling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, LoopNest
+from repro.core.config import SptConfig
+from repro.ir.block import Block
+from repro.ir.function import Function
+from repro.ir.instr import BinOp, Branch, Instr, Jump, Phi
+from repro.ir.values import Const, Value, Var
+
+
+class UnrollReport:
+    """What the unroller did to one function."""
+
+    def __init__(self):
+        #: (header label, factor, loop kind) per unrolled loop.
+        self.unrolled: List[tuple] = []
+        #: headers skipped because they are while-loops and while-loop
+        #: unrolling is disabled.
+        self.skipped_while: List[str] = []
+        #: headers skipped because they do not match the counted-loop
+        #: pattern at all.
+        self.skipped_uncounted: List[str] = []
+
+    def __repr__(self) -> str:
+        return f"UnrollReport({self.unrolled})"
+
+
+class CountedLoop(NamedTuple):
+    """A recognized ``for (i; i < n; i += step)`` loop."""
+
+    counter: Var
+    bound: Value
+    cmp_op: str  # normalized: counter on the left
+    step: int
+    update: BinOp
+    exit_label: str
+    body_entry: str
+
+
+def loop_kind(func: Function, loop: Loop) -> str:
+    """"for" when the frontend tagged the header as a counted loop,
+    else "while"."""
+    return func.block(loop.header).annotations.get("loop_kind", "while")
+
+
+def choose_factor(body_size: float, config: SptConfig) -> int:
+    """Unroll factor aiming at ``config.unroll_target_size``."""
+    if body_size <= 0:
+        return 1
+    factor = 1
+    while (
+        body_size * factor < config.unroll_target_size
+        and factor < config.max_unroll_factor
+    ):
+        factor += 1
+    return factor
+
+
+def match_counted_loop(func: Function, loop: Loop, cfg: CFG = None) -> Optional[CountedLoop]:
+    """Recognize the counted-loop pattern on pre-SSA IR, or None."""
+    cfg = cfg or CFG.build(func)
+    header = func.block(loop.header)
+    term = header.terminator
+    if not isinstance(term, Branch):
+        return None
+    in_loop = [t for t in term.targets() if t in loop.body and t != loop.header]
+    out_loop = [t for t in term.targets() if t not in loop.body]
+    if len(in_loop) != 1 or len(out_loop) != 1:
+        return None
+    # Any other exit makes the loop uncounted for our purposes.
+    if any(src != loop.header for src, _ in loop.exit_edges(cfg)):
+        return None
+
+    # The branch condition: a comparison defined in the header.
+    cond_def = None
+    for instr in header.instrs:
+        if instr.dest is not None and instr.dest == term.cond:
+            cond_def = instr
+    if not isinstance(cond_def, BinOp) or cond_def.op not in ("lt", "le", "gt", "ge"):
+        return None
+
+    # One side is the counter (a Var updated in the loop), the other the
+    # bound (invariant).  Normalize to counter-on-the-left.
+    defs_in_loop: Dict[Var, List[Instr]] = {}
+    for blk in loop.blocks(func):
+        for instr in blk.instrs:
+            if instr.dest is not None:
+                defs_in_loop.setdefault(instr.dest, []).append(instr)
+
+    def normalized(counter_side: Value, bound_side: Value, op: str):
+        if not isinstance(counter_side, Var):
+            return None
+        if isinstance(bound_side, Var) and bound_side in defs_in_loop:
+            return None  # bound changes inside the loop
+        updates = [
+            i for i in defs_in_loop.get(counter_side, []) if i is not cond_def
+        ]
+        if len(updates) != 1:
+            return None
+        update = updates[0]
+        if not isinstance(update, BinOp) or update.op not in ("add", "sub"):
+            return None
+        if update.lhs == counter_side and isinstance(update.rhs, Const):
+            step = update.rhs.value if update.op == "add" else -update.rhs.value
+        elif (
+            update.op == "add"
+            and update.rhs == counter_side
+            and isinstance(update.lhs, Const)
+        ):
+            step = update.lhs.value
+        else:
+            return None
+        if not isinstance(step, int) or step == 0:
+            return None
+        # Direction must agree with the comparison or the guard math is
+        # meaningless.
+        if op in ("lt", "le") and step < 0:
+            return None
+        if op in ("gt", "ge") and step > 0:
+            return None
+        # The update must run exactly once per iteration.
+        domtree = DominatorTree.build(func, cfg=cfg)
+        update_block = next(
+            blk.label for blk in loop.blocks(func) if update in blk.instrs
+        )
+        for latch in loop.latches(cfg):
+            if not domtree.dominates(update_block, latch):
+                return None
+        return CountedLoop(
+            counter_side, bound_side, op, step, update, out_loop[0], in_loop[0]
+        )
+
+    result = normalized(cond_def.lhs, cond_def.rhs, cond_def.op)
+    if result is not None:
+        return result
+    flipped = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}[cond_def.op]
+    return normalized(cond_def.rhs, cond_def.lhs, flipped)
+
+
+def unroll_loop(func: Function, loop: Loop, factor: int) -> bool:
+    """Guarded-unroll ``loop`` in place by ``factor`` (pre-SSA IR only).
+
+    Returns False (leaving the function untouched) when the loop does
+    not match the counted pattern.
+    """
+    if factor <= 1:
+        return True
+    if any(
+        isinstance(instr, Phi)
+        for blk in loop.blocks(func)
+        for instr in blk.instrs
+    ):
+        raise ValueError("unrolling must run before SSA construction")
+    cfg = CFG.build(func)
+    counted = match_counted_loop(func, loop, cfg)
+    if counted is None:
+        return False
+
+    header = func.block(loop.header)
+    latches = loop.latches(cfg)
+    body_labels = [blk.label for blk in func.blocks if blk.label in loop.body]
+
+    guard_label = func.fresh_label(f"{loop.header}.guard")
+
+    def copy_label(label: str, iteration: int) -> str:
+        return f"{label}.u{iteration}"
+
+    # -- guard block -----------------------------------------------------
+    guard = Block(guard_label)
+    guard.annotations.update(func.block(loop.header).annotations)
+    lookahead = func.fresh_var("unroll_ahead")
+    guard_cond = func.fresh_var("unroll_ok")
+    offset = (factor - 1) * counted.step
+    guard.append(BinOp("add", lookahead, counted.counter, Const(offset)))
+    guard.append(BinOp(counted.cmp_op, guard_cond, lookahead, counted.bound))
+    guard.append(
+        Branch(guard_cond, copy_label(loop.header, 1), loop.header)
+    )
+
+    # -- body copies ----------------------------------------------------------
+    new_blocks: List[Block] = [guard]
+    for iteration in range(1, factor + 1):
+        for label in body_labels:
+            src = func.block(label)
+            dst = Block(copy_label(label, iteration))
+            for instr in src.instrs:
+                dst.instrs.append(instr.clone())
+            term = dst.terminator
+            if label == loop.header:
+                # The copy's exit test is subsumed by the guard: fall
+                # straight into the body (the dead compare is DCE'd).
+                dst.instrs[-1] = Jump(copy_label(counted.body_entry, iteration))
+            elif isinstance(term, (Jump, Branch)):
+                for attr in ("target", "iftrue", "iffalse"):
+                    old = getattr(term, attr, None)
+                    if old is None:
+                        continue
+                    if old == loop.header and label in latches:
+                        new = (
+                            copy_label(loop.header, iteration + 1)
+                            if iteration < factor
+                            else guard_label
+                        )
+                    elif old in loop.body:
+                        new = copy_label(old, iteration)
+                    else:
+                        new = old  # should not happen: no mid-body exits
+                    setattr(term, attr, new)
+            new_blocks.append(dst)
+
+    # -- rewire entries ---------------------------------------------------------
+    for blk in func.blocks:
+        if blk.label in loop.body and blk.label in latches:
+            continue  # remainder back edge stays on the original header
+        if blk.label in loop.body:
+            continue
+        term = blk.terminator
+        if term is None:
+            continue
+        for attr in ("target", "iftrue", "iffalse"):
+            if getattr(term, attr, None) == loop.header:
+                setattr(term, attr, guard_label)
+
+    header_index = func.blocks.index(header)
+    for offset_index, blk in enumerate(new_blocks):
+        func.blocks.insert(header_index + offset_index, blk)
+    return True
+
+
+def unroll_function(func: Function, config: SptConfig) -> UnrollReport:
+    """Unroll every innermost loop of ``func`` per the configuration."""
+    report = UnrollReport()
+    if not config.enable_unrolling:
+        return report
+
+    nest = LoopNest.build(func)
+    for loop in nest.innermost():
+        kind = loop_kind(func, loop)
+        if kind == "while" and not config.unroll_while_loops:
+            report.skipped_while.append(loop.header)
+            continue
+        body_size = loop.body_size(func)
+        factor = choose_factor(body_size, config)
+        if factor > 1:
+            if unroll_loop(func, loop, factor):
+                report.unrolled.append((loop.header, factor, kind))
+            else:
+                report.skipped_uncounted.append(loop.header)
+    return report

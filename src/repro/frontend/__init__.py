@@ -1,0 +1,21 @@
+"""The MiniC frontend: lexer, parser, semantic analysis, and lowering
+to the SPT IR."""
+
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.lower import LowerError, compile_minic, lower_program
+from repro.frontend.parser import ParseError, parse_source
+from repro.frontend.sema import ProgramInfo, SemaError, analyze
+
+__all__ = [
+    "LexError",
+    "LowerError",
+    "ParseError",
+    "ProgramInfo",
+    "SemaError",
+    "Token",
+    "analyze",
+    "compile_minic",
+    "lower_program",
+    "parse_source",
+    "tokenize",
+]

@@ -1,0 +1,244 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Node:
+    """Base AST node; ``line`` is the 1-based source line."""
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# -- expressions ------------------------------------------------------------
+
+
+class Expr(Node):
+    pass
+
+
+class IntLit(Expr):
+    def __init__(self, value: int, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Expr):
+    def __init__(self, value: float, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class VarRef(Expr):
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+
+
+class ArrayRef(Expr):
+    def __init__(self, name: str, index: Expr, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.index = index
+
+
+class Unary(Expr):
+    """``op`` is one of ``- ! ~``."""
+
+    def __init__(self, op: str, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """C binary operators including short-circuit ``&&``/``||``."""
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class CallExpr(Expr):
+    def __init__(self, name: str, args: List[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+# -- statements -----------------------------------------------------------
+
+
+class Stmt(Node):
+    pass
+
+
+class Block(Stmt):
+    def __init__(self, stmts: List[Stmt], line: int = 0):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class VarDecl(Stmt):
+    """``int x = init;`` or ``float buf[64];`` (arrays take no init)."""
+
+    def __init__(
+        self,
+        type_name: str,
+        name: str,
+        init: Optional[Expr] = None,
+        array_size: Optional[int] = None,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+        self.init = init
+        self.array_size = array_size
+
+
+class Assign(Stmt):
+    """``target = value`` where target is a VarRef or ArrayRef."""
+
+    def __init__(self, target: Expr, value: Expr, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    def __init__(
+        self,
+        cond: Expr,
+        then_body: Block,
+        else_body: Optional[Block] = None,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    def __init__(self, cond: Expr, body: Block, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        step: Optional[Stmt],
+        body: Block,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+class Return(Stmt):
+    def __init__(self, value: Optional[Expr] = None, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+# -- top level ---------------------------------------------------------------
+
+
+class Param(Node):
+    def __init__(self, type_name: str, name: str, line: int = 0):
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+
+
+class FuncDef(Node):
+    def __init__(
+        self,
+        return_type: str,
+        name: str,
+        params: List[Param],
+        body: Block,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class GlobalDecl(Node):
+    """``global int table[100];`` or ``global int heap[100] aliased;``.
+
+    ``aliased`` marks data that real C would reach through pointers:
+    the type-based alias analysis must treat it conservatively (it "may
+    alias anything"), exactly like ORC facing pointer-heavy SPEC code.
+    """
+
+    def __init__(
+        self,
+        type_name: str,
+        name: str,
+        array_size: int,
+        aliased: bool = False,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+        self.array_size = array_size
+        self.aliased = aliased
+
+
+class ExternDecl(Node):
+    """``extern int rand_next(int);`` -- declares an intrinsic.  ``pure``
+    externs are side-effect free for the dependence analysis."""
+
+    def __init__(self, name: str, pure: bool = False, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.pure = pure
+
+
+class Program(Node):
+    def __init__(self, items: List[Node], line: int = 0):
+        super().__init__(line)
+        self.items = items
+
+    @property
+    def functions(self) -> List[FuncDef]:
+        return [item for item in self.items if isinstance(item, FuncDef)]
+
+    @property
+    def globals(self) -> List[GlobalDecl]:
+        return [item for item in self.items if isinstance(item, GlobalDecl)]
+
+    @property
+    def externs(self) -> List[ExternDecl]:
+        return [item for item in self.items if isinstance(item, ExternDecl)]

@@ -1,0 +1,328 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast
+from repro.frontend.lexer import Token, tokenize
+
+#: Binary operator precedence (larger binds tighter), C-like.
+PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{token.line}:{token.column}: {message}")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str = None) -> Token:
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, got {self.peek().text!r}", self.peek())
+        return self.advance()
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        items: List[ast.Node] = []
+        while not self.check("eof"):
+            items.append(self.parse_top_level())
+        return ast.Program(items)
+
+    def parse_top_level(self) -> ast.Node:
+        if self.check("keyword", "global"):
+            return self.parse_global()
+        if self.check("keyword", "extern"):
+            return self.parse_extern()
+        return self.parse_function()
+
+    def parse_global(self) -> ast.GlobalDecl:
+        start = self.expect("keyword", "global")
+        type_name = self.expect("keyword").text
+        name = self.expect("ident").text
+        self.expect("op", "[")
+        size = int(self.expect("int").text)
+        self.expect("op", "]")
+        aliased = self.accept("keyword", "aliased") is not None
+        self.expect("op", ";")
+        return ast.GlobalDecl(type_name, name, size, aliased=aliased, line=start.line)
+
+    def parse_extern(self) -> ast.ExternDecl:
+        start = self.expect("keyword", "extern")
+        pure = self.accept("keyword", "pure") is not None
+        self.expect("keyword")  # return type, unchecked
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        depth = 1
+        while depth:  # skip the parameter list; externs are untyped here
+            token = self.advance()
+            if token.kind == "eof":
+                raise ParseError("unterminated extern declaration", token)
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+        self.expect("op", ";")
+        return ast.ExternDecl(name, pure=pure, line=start.line)
+
+    def parse_function(self) -> ast.FuncDef:
+        return_type = self.expect("keyword").text
+        if return_type not in ("int", "float", "void"):
+            raise ParseError(f"bad return type {return_type!r}", self.peek())
+        name = self.expect("ident").text
+        start_line = self.peek().line
+        self.expect("op", "(")
+        params: List[ast.Param] = []
+        if not self.check("op", ")"):
+            while True:
+                type_name = self.expect("keyword").text
+                param_name = self.expect("ident").text
+                params.append(ast.Param(type_name, param_name))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FuncDef(return_type, name, params, body, line=start_line)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(stmts, line=start.line)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "op" and token.text == "{":
+            return self.parse_block()
+        if token.kind == "keyword":
+            if token.text in ("int", "float"):
+                return self.parse_decl()
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expression()
+                self.expect("op", ";")
+                return ast.Return(value, line=token.line)
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(line=token.line)
+        stmt = self.parse_simple_statement()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_decl(self) -> ast.VarDecl:
+        type_token = self.advance()
+        name = self.expect("ident").text
+        if self.accept("op", "["):
+            size = int(self.expect("int").text)
+            self.expect("op", "]")
+            self.expect("op", ";")
+            return ast.VarDecl(
+                type_token.text, name, array_size=size, line=type_token.line
+            )
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expression()
+        self.expect("op", ";")
+        return ast.VarDecl(type_token.text, name, init=init, line=type_token.line)
+
+    def parse_if(self) -> ast.If:
+        start = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then_body = self._statement_as_block()
+        else_body = None
+        if self.accept("keyword", "else"):
+            else_body = self._statement_as_block()
+        return ast.If(cond, then_body, else_body, line=start.line)
+
+    def parse_while(self) -> ast.While:
+        start = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return ast.While(cond, body, line=start.line)
+
+    def parse_for(self) -> ast.For:
+        start = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.check("op", ";"):
+            if self.check("keyword", "int") or self.check("keyword", "float"):
+                init = self.parse_decl()  # consumes the ';'
+            else:
+                init = self.parse_simple_statement()
+                self.expect("op", ";")
+        else:
+            self.expect("op", ";")
+        cond: Optional[ast.Expr] = None
+        if not self.check("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        step: Optional[ast.Stmt] = None
+        if not self.check("op", ")"):
+            step = self.parse_simple_statement()
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return ast.For(init, cond, step, body, line=start.line)
+
+    def _statement_as_block(self) -> ast.Block:
+        stmt = self.parse_statement()
+        if isinstance(stmt, ast.Block):
+            return stmt
+        return ast.Block([stmt], line=stmt.line)
+
+    def parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, or expression."""
+        start = self.peek()
+        expr = self.parse_expression()
+        if self.check("op") and self.peek().text in _COMPOUND_ASSIGN:
+            op = _COMPOUND_ASSIGN[self.advance().text]
+            value = self.parse_expression()
+            self._require_lvalue(expr)
+            return ast.Assign(
+                expr, ast.Binary(op, expr, value, line=start.line), line=start.line
+            )
+        if self.accept("op", "="):
+            value = self.parse_expression()
+            self._require_lvalue(expr)
+            return ast.Assign(expr, value, line=start.line)
+        if self.check("op") and self.peek().text in ("++", "--"):
+            op = "+" if self.advance().text == "++" else "-"
+            self._require_lvalue(expr)
+            return ast.Assign(
+                expr,
+                ast.Binary(op, expr, ast.IntLit(1), line=start.line),
+                line=start.line,
+            )
+        return ast.ExprStmt(expr, line=start.line)
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if not isinstance(expr, (ast.VarRef, ast.ArrayRef)):
+            raise ParseError("assignment target is not an lvalue", self.peek())
+
+    # -- expressions (precedence climbing) -------------------------------------
+
+    def parse_expression(self, min_precedence: int = 1) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind != "op" or token.text not in PRECEDENCE:
+                break
+            precedence = PRECEDENCE[token.text]
+            if precedence < min_precedence:
+                break
+            self.advance()
+            rhs = self.parse_expression(precedence + 1)
+            lhs = ast.Binary(token.text, lhs, rhs, line=token.line)
+        return lhs
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(token.text, operand, line=token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(int(token.text), line=token.line)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(float(token.text), line=token.line)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: List[ast.Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.CallExpr(token.text, args, line=token.line)
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                return ast.ArrayRef(token.text, index, line=token.line)
+            return ast.VarRef(token.text, line=token.line)
+        raise ParseError(f"unexpected token {token.text!r}", token)
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse MiniC source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,76 @@
+"""The SPT intermediate representation.
+
+Public surface: types, values, instructions, blocks, functions, the
+builder, printer/parser round-tripping, and the verifier.
+"""
+
+from repro.ir.block import Block
+from repro.ir.builder import Builder
+from repro.ir.function import ArrayDecl, Function, Module
+from repro.ir.instr import (
+    BINARY_OPS,
+    COMPARISONS,
+    UNARY_OPS,
+    BinOp,
+    Branch,
+    Call,
+    Copy,
+    Instr,
+    Jump,
+    Load,
+    LoadAddr,
+    Phi,
+    Return,
+    SptFork,
+    SptKill,
+    Store,
+    UnOp,
+)
+from repro.ir.parser import IRParseError, parse_function, parse_module
+from repro.ir.printer import format_function, format_instr, format_module
+from repro.ir.types import BOOL, FLOAT, INT, PTR, Type
+from repro.ir.values import Const, Value, Var, as_value
+from repro.ir.verify import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "ArrayDecl",
+    "BINARY_OPS",
+    "BOOL",
+    "BinOp",
+    "Block",
+    "Branch",
+    "Builder",
+    "COMPARISONS",
+    "Call",
+    "Const",
+    "Copy",
+    "FLOAT",
+    "Function",
+    "INT",
+    "IRParseError",
+    "Instr",
+    "Jump",
+    "Load",
+    "LoadAddr",
+    "Module",
+    "PTR",
+    "Phi",
+    "Return",
+    "SptFork",
+    "SptKill",
+    "Store",
+    "Type",
+    "UNARY_OPS",
+    "UnOp",
+    "Value",
+    "Var",
+    "VerificationError",
+    "as_value",
+    "format_function",
+    "format_instr",
+    "format_module",
+    "parse_function",
+    "parse_module",
+    "verify_function",
+    "verify_module",
+]

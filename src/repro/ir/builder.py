@@ -1,0 +1,146 @@
+"""Convenience builder for constructing IR by hand (tests, examples).
+
+The builder keeps a *current block* cursor and offers one method per
+instruction kind.  Operands may be Python numbers; they are coerced to
+:class:`~repro.ir.values.Const`.
+
+Example::
+
+    fn = Function("count", [Var("n")])
+    b = Builder(fn)
+    b.new_block("entry")
+    i = Var("i")
+    b.copy(i, 0)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.ir.block import Block
+from repro.ir.function import Function
+from repro.ir.instr import (
+    BinOp,
+    Branch,
+    Call,
+    Copy,
+    Instr,
+    Jump,
+    Load,
+    LoadAddr,
+    Phi,
+    Return,
+    SptFork,
+    SptKill,
+    Store,
+    UnOp,
+)
+from repro.ir.types import INT, Type
+from repro.ir.values import Value, Var, as_value
+
+Operand = Union[Value, int, float, bool]
+
+
+class Builder:
+    """Cursor-style IR builder over a :class:`Function`."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.block: Optional[Block] = func.blocks[-1] if func.blocks else None
+
+    # -- cursor ------------------------------------------------------
+
+    def new_block(self, label: str = None) -> Block:
+        """Create a new block and move the cursor to it."""
+        self.block = self.func.add_block(
+            label if label is not None else self.func.fresh_label()
+        )
+        return self.block
+
+    def at(self, block: Block) -> "Builder":
+        """Move the cursor to ``block``; returns ``self`` for chaining."""
+        self.block = block
+        return self
+
+    def _emit(self, instr: Instr) -> Instr:
+        if self.block is None:
+            raise ValueError("builder has no current block")
+        return self.block.append(instr)
+
+    def fresh(self, hint: str = "t", type: Type = INT) -> Var:
+        return self.func.fresh_var(hint, type)
+
+    # -- instructions --------------------------------------------------
+
+    def binop(self, op: str, dest: Var, lhs: Operand, rhs: Operand) -> Var:
+        self._emit(BinOp(op, dest, as_value(lhs), as_value(rhs)))
+        return dest
+
+    def add(self, dest: Var, lhs: Operand, rhs: Operand) -> Var:
+        return self.binop("add", dest, lhs, rhs)
+
+    def sub(self, dest: Var, lhs: Operand, rhs: Operand) -> Var:
+        return self.binop("sub", dest, lhs, rhs)
+
+    def mul(self, dest: Var, lhs: Operand, rhs: Operand) -> Var:
+        return self.binop("mul", dest, lhs, rhs)
+
+    def div(self, dest: Var, lhs: Operand, rhs: Operand) -> Var:
+        return self.binop("div", dest, lhs, rhs)
+
+    def lt(self, dest: Var, lhs: Operand, rhs: Operand) -> Var:
+        return self.binop("lt", dest, lhs, rhs)
+
+    def unop(self, op: str, dest: Var, src: Operand) -> Var:
+        self._emit(UnOp(op, dest, as_value(src)))
+        return dest
+
+    def copy(self, dest: Var, src: Operand) -> Var:
+        self._emit(Copy(dest, as_value(src)))
+        return dest
+
+    def addr(self, dest: Var, sym: str) -> Var:
+        self._emit(LoadAddr(dest, sym))
+        return dest
+
+    def load(self, dest: Var, base: Operand, offset: Operand = 0, sym: str = None) -> Var:
+        self._emit(Load(dest, as_value(base), as_value(offset), sym))
+        return dest
+
+    def store(self, base: Operand, offset: Operand, value: Operand, sym: str = None):
+        return self._emit(Store(as_value(base), as_value(offset), as_value(value), sym))
+
+    def call(
+        self,
+        dest: Optional[Var],
+        callee: str,
+        args: List[Operand] = (),
+        pure: bool = False,
+    ):
+        self._emit(Call(dest, callee, [as_value(a) for a in args], pure))
+        return dest
+
+    def phi(self, dest: Var, incomings=None) -> Phi:
+        node = Phi(dest, {})
+        if incomings:
+            for label, value in dict(incomings).items():
+                node.incomings[label] = as_value(value)
+        if self.block is None:
+            raise ValueError("builder has no current block")
+        return self.block.add_phi(node)
+
+    def jump(self, target: str):
+        return self._emit(Jump(target))
+
+    def branch(self, cond: Operand, iftrue: str, iffalse: str):
+        return self._emit(Branch(as_value(cond), iftrue, iffalse))
+
+    def ret(self, value: Operand = None):
+        return self._emit(Return(as_value(value) if value is not None else None))
+
+    def spt_fork(self, loop_id: int):
+        return self._emit(SptFork(loop_id))
+
+    def spt_kill(self, loop_id: int):
+        return self._emit(SptKill(loop_id))

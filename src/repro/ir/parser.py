@@ -1,0 +1,250 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+The grammar is line-oriented; see the printer's module docstring for a
+sample.  The parser is intentionally strict: malformed input raises
+:class:`IRParseError` with a line number, which keeps hand-written test
+fixtures honest.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.ir.function import Function, Module
+from repro.ir.instr import (
+    BINARY_OPS,
+    UNARY_OPS,
+    BinOp,
+    Branch,
+    Call,
+    Copy,
+    Instr,
+    Jump,
+    Load,
+    LoadAddr,
+    Phi,
+    Return,
+    SptFork,
+    SptKill,
+    Store,
+    UnOp,
+)
+from repro.ir.values import Const, Value, Var
+
+
+class IRParseError(ValueError):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, message: str, line_no: int):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_.$]*"
+_FUNC_RE = re.compile(rf"^func\s+({_IDENT})\s*\(([^)]*)\)\s*\{{$")
+_ARRAY_RE = re.compile(rf"^(local|global)\s+({_IDENT})\[(\d+)\](\s+escapes)?$")
+_LABEL_RE = re.compile(rf"^({_IDENT}):$")
+_ASSIGN_RE = re.compile(rf"^({_IDENT})\s*=\s*(.+)$")
+_CALL_RE = re.compile(rf"^call\s+(pure\s+)?({_IDENT})\((.*)\)$")
+_PHI_RE = re.compile(r"^phi\s*\[(.*)\]$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d*(e[-+]?\d+)?$|^-?\d+e[-+]?\d+$", re.IGNORECASE)
+_INT_RE = re.compile(r"^-?\d+$")
+
+
+def _parse_value(text: str, line_no: int) -> Value:
+    text = text.strip()
+    if not text:
+        raise IRParseError("empty operand", line_no)
+    if _INT_RE.match(text):
+        return Const(int(text))
+    if _FLOAT_RE.match(text):
+        return Const(float(text))
+    if text == "true":
+        return Const(True)
+    if text == "false":
+        return Const(False)
+    if re.match(rf"^{_IDENT}$", text):
+        return Var(text)
+    raise IRParseError(f"bad operand {text!r}", line_no)
+
+
+def _split_args(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _parse_rhs(dest: Var, rhs: str, line_no: int) -> Instr:
+    """Parse the right-hand side of an assignment line."""
+    call_match = _CALL_RE.match(rhs)
+    if call_match:
+        pure, callee, args_text = call_match.groups()
+        args = [_parse_value(a, line_no) for a in _split_args(args_text)]
+        return Call(dest, callee, args, pure=bool(pure))
+
+    phi_match = _PHI_RE.match(rhs)
+    if phi_match:
+        incomings = {}
+        for pair in _split_args(phi_match.group(1)):
+            if ":" not in pair:
+                raise IRParseError(f"bad phi incoming {pair!r}", line_no)
+            label, value_text = pair.split(":", 1)
+            incomings[label.strip()] = _parse_value(value_text, line_no)
+        return Phi(dest, incomings)
+
+    parts = rhs.split(None, 1)
+    if not parts:
+        raise IRParseError("empty right-hand side", line_no)
+    op = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+
+    if op == "copy":
+        return Copy(dest, _parse_value(rest, line_no))
+    if op == "addr":
+        return LoadAddr(dest, rest.strip())
+    if op == "load":
+        rest, sym = _strip_sym(rest)
+        operands = _split_args(rest)
+        if len(operands) != 2:
+            raise IRParseError("load needs base, offset", line_no)
+        return Load(
+            dest,
+            _parse_value(operands[0], line_no),
+            _parse_value(operands[1], line_no),
+            sym,
+        )
+    if op in BINARY_OPS:
+        operands = _split_args(rest)
+        if len(operands) != 2:
+            raise IRParseError(f"{op} needs two operands", line_no)
+        return BinOp(
+            op,
+            dest,
+            _parse_value(operands[0], line_no),
+            _parse_value(operands[1], line_no),
+        )
+    if op in UNARY_OPS:
+        return UnOp(op, dest, _parse_value(rest, line_no))
+    raise IRParseError(f"unknown operation {op!r}", line_no)
+
+
+def _strip_sym(text: str):
+    """Split a trailing ``!sym`` disambiguation annotation, if present."""
+    if "!" in text:
+        body, sym = text.rsplit("!", 1)
+        return body.strip().rstrip(","), sym.strip()
+    return text, None
+
+
+def _parse_instr(line: str, line_no: int) -> Instr:
+    assign = _ASSIGN_RE.match(line)
+    if assign:
+        dest_name, rhs = assign.groups()
+        return _parse_rhs(Var(dest_name), rhs.strip(), line_no)
+
+    parts = line.split(None, 1)
+    op = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+
+    if op == "store":
+        rest, sym = _strip_sym(rest)
+        operands = _split_args(rest)
+        if len(operands) != 3:
+            raise IRParseError("store needs base, offset, value", line_no)
+        return Store(
+            _parse_value(operands[0], line_no),
+            _parse_value(operands[1], line_no),
+            _parse_value(operands[2], line_no),
+            sym,
+        )
+    if op == "call":
+        call_match = _CALL_RE.match(line)
+        if not call_match:
+            raise IRParseError("malformed call", line_no)
+        pure, callee, args_text = call_match.groups()
+        args = [_parse_value(a, line_no) for a in _split_args(args_text)]
+        return Call(None, callee, args, pure=bool(pure))
+    if op == "jump":
+        return Jump(rest.strip())
+    if op == "br":
+        operands = _split_args(rest)
+        if len(operands) != 3:
+            raise IRParseError("br needs cond, iftrue, iffalse", line_no)
+        return Branch(_parse_value(operands[0], line_no), operands[1], operands[2])
+    if op == "ret":
+        if rest.strip():
+            return Return(_parse_value(rest, line_no))
+        return Return()
+    if op == "spt_fork":
+        return SptFork(int(rest))
+    if op == "spt_kill":
+        return SptKill(int(rest))
+    raise IRParseError(f"cannot parse instruction {line!r}", line_no)
+
+
+def parse_module(text: str) -> Module:
+    """Parse a full module from its textual form."""
+    module: Optional[Module] = None
+    func: Optional[Function] = None
+    block = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("module "):
+            module = Module(line[len("module "):].strip())
+            continue
+        if module is None:
+            module = Module()
+
+        array_match = _ARRAY_RE.match(line)
+        if array_match:
+            scope, sym, size, escapes = array_match.groups()
+            if scope == "global":
+                module.declare_global(sym, int(size), bool(escapes))
+            else:
+                if func is None:
+                    raise IRParseError("local outside function", line_no)
+                func.declare_array(sym, int(size), bool(escapes))
+            continue
+
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            name, params_text = func_match.groups()
+            params = [Var(p) for p in _split_args(params_text)]
+            func = module.add_function(Function(name, params))
+            block = None
+            continue
+
+        if line == "}":
+            func = None
+            block = None
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            if func is None:
+                raise IRParseError("label outside function", line_no)
+            block = func.add_block(label_match.group(1))
+            continue
+
+        if func is None or block is None:
+            raise IRParseError(f"instruction outside block: {line!r}", line_no)
+        instr = _parse_instr(line, line_no)
+        if isinstance(instr, Phi):
+            block.add_phi(instr)
+        else:
+            block.append(instr)
+
+    if module is None:
+        raise IRParseError("empty input", 0)
+    return module
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function (with an implicit wrapping module)."""
+    module = parse_module(text)
+    if len(module.functions) != 1:
+        raise ValueError("expected exactly one function")
+    return next(iter(module.functions.values()))

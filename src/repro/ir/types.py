@@ -1,0 +1,69 @@
+"""Scalar types for the SPT intermediate representation.
+
+The IR is deliberately small: the cost-driven speculative parallelization
+framework of Du et al. (PLDI 2004) operates on scalar operations, memory
+loads/stores and calls.  Three scalar types are enough to express the
+workloads the paper evaluates:
+
+* ``INT``   -- 64-bit signed integers (the default type).
+* ``FLOAT`` -- IEEE double precision.
+* ``BOOL``  -- results of comparisons; freely convertible to ``INT``.
+* ``PTR``   -- flat addresses into the interpreter's memory space.
+
+Types are singletons; identity comparison (``is``) is safe and preferred.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """A scalar IR type.
+
+    Instances are interned singletons (see module-level constants), so two
+    types are equal iff they are the same object.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type participate in arithmetic."""
+        return self in (INT, FLOAT)
+
+
+#: 64-bit signed integer type.
+INT = Type("int")
+
+#: IEEE-754 double type.
+FLOAT = Type("float")
+
+#: Boolean type (comparison results).
+BOOL = Type("bool")
+
+#: Flat memory address type.
+PTR = Type("ptr")
+
+#: All interned types, keyed by their printed name (used by the parser).
+BY_NAME = {t.name: t for t in (INT, FLOAT, BOOL, PTR)}
+
+
+def join(a: Type, b: Type) -> Type:
+    """Return the result type of a binary arithmetic operation.
+
+    ``FLOAT`` is contagious; otherwise the integer family collapses to
+    ``INT``.  ``PTR`` plus an integer stays ``PTR`` (address arithmetic).
+    """
+    if a is FLOAT or b is FLOAT:
+        return FLOAT
+    if a is PTR or b is PTR:
+        return PTR
+    return INT

@@ -1,0 +1,100 @@
+"""IR values: constants and virtual registers.
+
+A :class:`Var` is a virtual register.  Before SSA construction several
+definitions may target the same ``Var``; after SSA construction each
+``Var`` has exactly one definition and versioned names such as ``i.2``.
+The pre-SSA base name is kept in :attr:`Var.base` so that later phases
+(e.g. the SPT transformation's temporary-variable insertion, paper §6.2)
+can mint fresh related names.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.ir.types import BOOL, FLOAT, INT, Type
+
+
+class Value:
+    """Base class for IR operands."""
+
+    __slots__ = ()
+
+
+class Const(Value):
+    """An immediate constant operand.
+
+    Constants compare (and hash) by value and type, so structurally equal
+    constants are interchangeable everywhere.
+    """
+
+    __slots__ = ("value", "type")
+
+    def __init__(self, value: Union[int, float, bool], type: Type = None):
+        if type is None:
+            if isinstance(value, bool):
+                type = BOOL
+            elif isinstance(value, float):
+                type = FLOAT
+            else:
+                type = INT
+        self.value = value
+        self.type = type
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, float) else str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Const)
+            and self.value == other.value
+            and self.type is other.type
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, id(self.type)))
+
+
+class Var(Value):
+    """A virtual register.
+
+    ``Var`` identity is by *name*: two ``Var`` objects with the same name
+    denote the same register.  This makes textual round-tripping and
+    hand-written tests straightforward.
+    """
+
+    __slots__ = ("name", "type", "base")
+
+    def __init__(self, name: str, type: Type = INT, base: str = None):
+        self.name = name
+        self.type = type
+        #: The pre-SSA base name (``i`` for the SSA version ``i.2``).
+        self.base = base if base is not None else name.split(".")[0]
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def with_version(self, version: int) -> "Var":
+        """Return the SSA-versioned sibling of this register."""
+        return Var(f"{self.base}.{version}", self.type, base=self.base)
+
+
+def as_value(operand) -> Value:
+    """Coerce a Python number or existing :class:`Value` into a Value."""
+    if isinstance(operand, Value):
+        return operand
+    if isinstance(operand, (int, float, bool)):
+        return Const(operand)
+    raise TypeError(f"cannot use {operand!r} as an IR operand")

@@ -1,0 +1,38 @@
+"""The SPT machine model: timing, caches, branch prediction, and the
+two-core speculative execution simulator."""
+
+from repro.machine.branchpred import BranchPredictor
+from repro.machine.cache import CacheLevel, MemoryHierarchy
+from repro.machine.region_sim import (
+    RegionLoopStats,
+    RegionTraceCollector,
+    simulate_region_loop,
+)
+from repro.machine.spt_sim import (
+    COMMIT_CYCLES,
+    FORK_CYCLES,
+    IterationTrace,
+    OpRecord,
+    SptLoopStats,
+    SptTraceCollector,
+    simulate_spt_loop,
+)
+from repro.machine.timing import TimingModel, TimingTracer
+
+__all__ = [
+    "BranchPredictor",
+    "CacheLevel",
+    "COMMIT_CYCLES",
+    "FORK_CYCLES",
+    "IterationTrace",
+    "MemoryHierarchy",
+    "OpRecord",
+    "RegionLoopStats",
+    "RegionTraceCollector",
+    "simulate_region_loop",
+    "SptLoopStats",
+    "SptTraceCollector",
+    "TimingModel",
+    "TimingTracer",
+    "simulate_spt_loop",
+]

@@ -1,0 +1,121 @@
+"""Memory hierarchy model.
+
+The paper's simulator gives both cores a shared memory/cache hierarchy
+"with the same configuration and latencies as Intel's Itanium2 systems"
+(§8).  We model three inclusive levels with LRU replacement over
+word-addressed lines:
+
+=====  ==========  =========  ============
+level  capacity    line size  load-use lat
+=====  ==========  =========  ============
+L1D    16 KB       64 B       1 cycle
+L2     256 KB      128 B      5 cycles
+L3     3 MB        128 B      12 cycles
+mem    --          --         180 cycles
+=====  ==========  =========  ============
+
+Addresses are word indices (8-byte words), so a 64-byte line is 8
+words.  The model charges the latency of the first level that hits and
+fills all levels above it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class CacheLevel:
+    """One cache level: LRU over line tags."""
+
+    def __init__(self, name: str, capacity_lines: int, line_words: int, latency: float):
+        self.name = name
+        self.capacity_lines = capacity_lines
+        self.line_words = line_words
+        self.latency = latency
+        self._lines: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_words
+
+    def lookup(self, addr: int) -> bool:
+        """Probe (and LRU-touch) the line holding ``addr``."""
+        line = self.line_of(addr)
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> None:
+        line = self.line_of(addr)
+        self._lines[line] = True
+        self._lines.move_to_end(line)
+        while len(self._lines) > self.capacity_lines:
+            self._lines.popitem(last=False)
+
+    def reset(self) -> None:
+        self._lines.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class MemoryHierarchy:
+    """Shared three-level hierarchy (Itanium2-like latencies)."""
+
+    def __init__(
+        self,
+        l1_lines: int = 256,
+        l2_lines: int = 2048,
+        l3_lines: int = 24576,
+        line_words: int = 8,
+        l1_latency: float = 1.0,
+        l2_latency: float = 5.0,
+        l3_latency: float = 12.0,
+        memory_latency: float = 180.0,
+    ):
+        self.levels = [
+            CacheLevel("L1D", l1_lines, line_words, l1_latency),
+            CacheLevel("L2", l2_lines, line_words * 2, l2_latency),
+            CacheLevel("L3", l3_lines, line_words * 2, l3_latency),
+        ]
+        self.memory_latency = memory_latency
+        self.accesses = 0
+
+    def access(self, addr: int) -> float:
+        """Cycles to satisfy a load of ``addr``; updates all levels."""
+        self.accesses += 1
+        for index, level in enumerate(self.levels):
+            if level.lookup(addr):
+                for above in self.levels[:index]:
+                    above.fill(addr)
+                return level.latency
+        for level in self.levels:
+            level.fill(addr)
+        return self.memory_latency
+
+    def fill_for_write(self, addr: int) -> None:
+        """Write-allocate: a store brings the line in at every level.
+
+        The latency is not charged to the store -- an in-order core's
+        store buffer hides it -- but the fill warms the hierarchy for
+        subsequent loads, which is what makes initialize-then-process
+        loops behave realistically.
+        """
+        for level in self.levels:
+            if level.lookup(addr):
+                break
+        for level in self.levels:
+            level.fill(addr)
+
+    def miss_rate(self, level_index: int = 0) -> float:
+        level = self.levels[level_index]
+        total = level.hits + level.misses
+        return level.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        for level in self.levels:
+            level.reset()

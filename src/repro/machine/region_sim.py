@@ -1,0 +1,159 @@
+"""Machine model for intra-iteration region speculation (§9 future
+work; see :mod:`repro.core.regions` for the compiler side).
+
+Per iteration the main core runs region A while the speculative core
+runs region B from the iteration-start context:
+
+    t_iter = fork + max(t_A, t_B) + commit + t_reexec(B | A's writes)
+
+Violation detection and re-execution propagation reuse the SPT loop
+machinery (:func:`repro.machine.spt_sim._replay_speculative`), with
+"post-fork writes" replaced by region A's writes of the same iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.block import Block
+from repro.ir.function import Function
+from repro.machine.spt_sim import (
+    COMMIT_CYCLES,
+    FORK_CYCLES,
+    IterationTrace,
+    SptTraceCollector,
+    _replay_speculative,
+)
+from repro.machine.timing import TimingModel
+
+
+class RegionTraceCollector(SptTraceCollector):
+    """Tags each dynamic op with its region: ``pre_fork`` means region A
+    (run by the main core), cleared for region-B blocks."""
+
+    def __init__(
+        self,
+        func_name: str,
+        header: str,
+        body_labels: Set[str],
+        b_labels: Set[str],
+        model: TimingModel,
+    ):
+        super().__init__(func_name, header, body_labels, loop_id=-1, model=model)
+        self.b_labels = set(b_labels)
+
+    def on_block(self, func: Function, block: Block, prev_label) -> None:
+        super().on_block(func, block, prev_label)
+        if not self._frame_is_target or not self._frame_is_target[-1]:
+            return
+        if func.name != self.func_name or self._current is None:
+            return
+        # Region assignment follows the block, not a fork marker.
+        self._in_pre_fork = block.label not in self.b_labels
+
+    def on_instr(self, func: Function, block: Block, instr) -> None:
+        super().on_instr(func, block, instr)
+        if (
+            self._pending_op is not None
+            and self._pending_op.instr is instr
+            and func.name == self.func_name
+            and block.label == self.header
+        ):
+            # Header ops run before the fork: their defs are part of the
+            # context region B starts from, never stale.
+            self._pending_op.header_op = True
+
+
+class RegionLoopStats:
+    """Simulated statistics of one region-speculated loop."""
+
+    def __init__(self, func_name: str, header: str, split_label: str):
+        self.func_name = func_name
+        self.header = header
+        self.split_label = split_label
+        self.iterations = 0
+        self.seq_cycles = 0.0
+        self.region_cycles = 0.0
+        self.reexec_cycles = 0.0
+        self.reexec_ops = 0
+        self.b_ops = 0
+        self.a_cycles = 0.0
+        self.b_cycles = 0.0
+
+    @property
+    def loop_speedup(self) -> float:
+        return self.seq_cycles / self.region_cycles if self.region_cycles else 1.0
+
+    @property
+    def misspeculation_ratio(self) -> float:
+        return self.reexec_ops / self.b_ops if self.b_ops else 0.0
+
+    @property
+    def balance(self) -> float:
+        total = self.a_cycles + self.b_cycles
+        if total <= 0:
+            return 0.0
+        return 1.0 - abs(self.a_cycles - self.b_cycles) / total
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionLoopStats({self.func_name}:{self.header}@"
+            f"{self.split_label}, speedup={self.loop_speedup:.2f})"
+        )
+
+
+def _region_writes(trace: IterationTrace):
+    """Register/memory locations region A redefines, with (value before,
+    value after) -- what region B's speculation is stale against."""
+    reg = {}
+    mem = {}
+    for op in trace.ops:
+        if not op.pre_fork:
+            continue  # region B
+        if op.header_op:
+            continue  # resolved before the fork
+        if op.def_name is not None:
+            if op.def_name in reg:
+                reg[op.def_name] = (reg[op.def_name][0], op.def_new)
+            else:
+                reg[op.def_name] = (op.def_old, op.def_new)
+        if op.store_addr is not None:
+            if op.store_addr in mem:
+                mem[op.store_addr] = (mem[op.store_addr][0], op.store_new)
+            else:
+                mem[op.store_addr] = (op.store_old, op.store_new)
+        if op.mem_writes:
+            for addr, (old, new) in op.mem_writes.items():
+                if addr in mem:
+                    mem[addr] = (mem[addr][0], new)
+                else:
+                    mem[addr] = (old, new)
+    return reg, mem
+
+
+def simulate_region_loop(
+    collector: RegionTraceCollector, split_label: str = "?"
+) -> RegionLoopStats:
+    """Recombine the traces into per-iteration A ∥ B rounds."""
+    stats = RegionLoopStats(collector.func_name, collector.header, split_label)
+    for iterations in collector.invocations:
+        for trace in iterations:
+            stats.iterations += 1
+            t_a = trace.pre_latency()
+            t_b = trace.post_latency()
+            stats.seq_cycles += t_a + t_b
+            stats.a_cycles += t_a
+            stats.b_cycles += t_b
+
+            reg, mem = _region_writes(trace)
+            b_trace = IterationTrace()
+            b_trace.ops = [op for op in trace.ops if not op.pre_fork]
+            reexec_cycles, reexec_ops = _replay_speculative(b_trace, reg, mem)
+
+            stats.region_cycles += (
+                FORK_CYCLES + max(t_a, t_b) + COMMIT_CYCLES + reexec_cycles
+            )
+            stats.reexec_cycles += reexec_cycles
+            stats.reexec_ops += reexec_ops
+            stats.b_ops += len(b_trace.ops)
+    return stats

@@ -1,0 +1,25 @@
+"""Interpreter and interpreter-driven profilers (edge, dependence, value)."""
+
+from repro.profiling.dep_profile import DependenceProfile, LoopDepView
+from repro.profiling.edge_profile import EdgeProfile
+from repro.profiling.interp import (
+    FuelExhausted,
+    InterpError,
+    Machine,
+    Tracer,
+    run_module,
+)
+from repro.profiling.value_profile import ValuePattern, ValueProfile
+
+__all__ = [
+    "DependenceProfile",
+    "EdgeProfile",
+    "FuelExhausted",
+    "InterpError",
+    "LoopDepView",
+    "Machine",
+    "Tracer",
+    "ValuePattern",
+    "ValueProfile",
+    "run_module",
+]

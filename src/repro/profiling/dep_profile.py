@@ -1,0 +1,229 @@
+"""Data-dependence profiling (paper §7.3).
+
+The profiler observes every load/store the interpreter executes and
+reconstructs, per loop, the realized memory dependences and their
+frequencies:
+
+* a write at W followed by a read at R of the same address in the same
+  iteration is an *intra-iteration* realization of edge ``W -> R``;
+* the same with the read exactly one iteration later is a
+  *cross-iteration* (distance-1) realization -- the only distance that
+  can violate SPT speculation, since the speculative thread runs the
+  *next* iteration;
+* accesses performed inside callees are attributed to the call
+  instruction at each enclosing frame level, so an impure call inside a
+  loop shows up as that call's dependence edges (this is what lets the
+  "best" compilation discharge conservative call aliasing).
+
+Probabilities follow the paper's definition (§4.1): for N executions of
+the writer, ``p*N`` reads access the location it wrote.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.loops import LoopNest
+from repro.ir.block import Block
+from repro.ir.function import Function, Module
+from repro.ir.instr import Call, Instr
+from repro.profiling.interp import Tracer
+
+#: Minimum writer executions before a zero pair count is trusted to mean
+#: "no dependence" rather than "not enough data".
+MIN_COVERAGE = 4
+
+
+class _FrameCtx:
+    """Per-activation loop-iteration counters and call-site attribution."""
+
+    __slots__ = ("func_name", "iters", "call_site")
+
+    def __init__(self, func_name: str, call_site: Optional[Instr]):
+        self.func_name = func_name
+        #: loop_id -> current iteration index (since loop entry).
+        self.iters: Dict[int, int] = {}
+        #: The call instruction in the *parent* frame that created us.
+        self.call_site = call_site
+
+
+class DependenceProfile(Tracer):
+    """Collects per-loop memory dependence frequencies."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        #: func name -> LoopNest (built lazily on first entry).
+        self.nests: Dict[str, LoopNest] = {}
+        #: func name -> {block label -> [loops containing it]}
+        self._block_loops: Dict[str, Dict[str, list]] = {}
+        #: func name -> {header label -> loop}
+        self._headers: Dict[str, Dict[str, object]] = {}
+        self._frames: List[_FrameCtx] = []
+        self._pending_call: Optional[Instr] = None
+
+        #: addr -> attribution chain of the last write:
+        #: list of (func_name, instr, {loop_id: iter_at_write})
+        self._last_write: Dict[int, List[Tuple[str, Instr, Dict[int, int]]]] = {}
+        #: (writer instr id) -> execution count (memory ops and calls)
+        self.execs: Dict[int, int] = {}
+        #: (writer id, reader id, loop_id, cross) -> realization count
+        self.pairs: Dict[Tuple[int, int, int, bool], int] = {}
+        #: instr id -> instr (for diagnostics)
+        self._by_id: Dict[int, Instr] = {}
+
+    # -- structure helpers -------------------------------------------------
+
+    def _nest_for(self, func: Function) -> LoopNest:
+        nest = self.nests.get(func.name)
+        if nest is None:
+            nest = LoopNest.build(func)
+            self.nests[func.name] = nest
+            self._headers[func.name] = {loop.header: loop for loop in nest.loops}
+            block_loops: Dict[str, list] = {}
+            for loop in nest.loops:
+                for label in loop.body:
+                    block_loops.setdefault(label, []).append(loop)
+            self._block_loops[func.name] = block_loops
+        return nest
+
+    # -- tracer hooks ---------------------------------------------------------
+
+    def on_enter_function(self, func: Function, args) -> None:
+        self._nest_for(func)
+        self._frames.append(_FrameCtx(func.name, self._pending_call))
+        self._pending_call = None
+
+    def on_exit_function(self, func: Function, result) -> None:
+        self._frames.pop()
+
+    def on_call(self, instr: Call, args) -> None:
+        self._pending_call = instr
+        self.execs[id(instr)] = self.execs.get(id(instr), 0) + 1
+        self._by_id[id(instr)] = instr
+
+    def on_block(self, func: Function, block: Block, prev_label) -> None:
+        loop = self._headers.get(func.name, {}).get(block.label)
+        if loop is None or not self._frames:
+            return
+        frame = self._frames[-1]
+        if prev_label is not None and prev_label in loop.body:
+            frame.iters[loop.loop_id] = frame.iters.get(loop.loop_id, 0) + 1
+        else:
+            frame.iters[loop.loop_id] = 0
+
+    def _attribution(self, instr: Instr) -> List[Tuple[str, Instr, Dict[int, int]]]:
+        """(func, attributed instr, loop-iter snapshot) per frame level,
+        outermost first."""
+        chain: List[Tuple[str, Instr, Dict[int, int]]] = []
+        for level, frame in enumerate(self._frames):
+            if level + 1 < len(self._frames):
+                attributed = self._frames[level + 1].call_site
+            else:
+                attributed = instr
+            if attributed is None:
+                continue
+            chain.append((frame.func_name, attributed, dict(frame.iters)))
+        return chain
+
+    def on_load(self, instr: Instr, addr: int, value) -> None:
+        self.execs[id(instr)] = self.execs.get(id(instr), 0) + 1
+        self._by_id[id(instr)] = instr
+        write_chain = self._last_write.get(addr)
+        if write_chain is None:
+            return
+        read_chain = self._attribution(instr)
+        for (w_func, w_instr, w_iters), (r_func, r_instr, r_iters) in zip(
+            write_chain, read_chain
+        ):
+            if w_func != r_func:
+                break
+            block_loops = self._block_loops.get(r_func, {})
+            for loop in self._loops_of_instr(r_func, r_instr):
+                loop_id = loop.loop_id
+                if loop_id not in w_iters or loop_id not in r_iters:
+                    continue
+                distance = r_iters[loop_id] - w_iters[loop_id]
+                if distance == 0:
+                    key = (id(w_instr), id(r_instr), loop_id, False)
+                elif distance == 1:
+                    key = (id(w_instr), id(r_instr), loop_id, True)
+                else:
+                    continue
+                self.pairs[key] = self.pairs.get(key, 0) + 1
+
+    def on_store(self, instr: Instr, addr: int, value, old_value) -> None:
+        self.execs[id(instr)] = self.execs.get(id(instr), 0) + 1
+        self._by_id[id(instr)] = instr
+        self._last_write[addr] = self._attribution(instr)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _loops_of_instr(self, func_name: str, instr: Instr) -> list:
+        """Loops (in func_name) containing the block holding ``instr``.
+
+        Blocks are searched lazily and memoized on the instr id.
+        """
+        cache = getattr(self, "_instr_loops", None)
+        if cache is None:
+            cache = {}
+            self._instr_loops = cache
+        key = (func_name, id(instr))
+        if key in cache:
+            return cache[key]
+        func = self.module.functions.get(func_name)
+        result = []
+        if func is not None:
+            for blk in func.blocks:
+                if instr in blk.instrs:
+                    result = self._block_loops.get(func_name, {}).get(blk.label, [])
+                    break
+        cache[key] = result
+        return result
+
+    # -- query API (consumed by depgraph) ------------------------------------
+
+    def view(self, func_name: str, loop) -> "LoopDepView":
+        return LoopDepView(self, func_name, loop.loop_id)
+
+
+class LoopDepView:
+    """Dependence probabilities for one loop, as consumed by
+    :func:`repro.analysis.depgraph.build_dep_graph`."""
+
+    def __init__(self, profile: DependenceProfile, func_name: str, loop_id: int):
+        self.profile = profile
+        self.func_name = func_name
+        self.loop_id = loop_id
+
+    def mem_prob(self, writer: Instr, reader: Instr, cross: bool) -> Optional[float]:
+        """Measured probability, or None when the writer was not observed."""
+        execs = self.profile.execs.get(id(writer), 0)
+        if execs < MIN_COVERAGE:
+            return None
+        count = self.profile.pairs.get(
+            (id(writer), id(reader), self.loop_id, cross), 0
+        )
+        return min(1.0, count / execs)
+
+    def mem_prob_agg(
+        self, writers: List[Instr], readers: List[Instr], cross: bool
+    ) -> Optional[float]:
+        """Aggregate probability over groups of writers/readers.
+
+        Used when either side is an inner-loop summary node: pair counts
+        are summed over all contained combinations and normalized by the
+        writers' total execution count.
+        """
+        total_execs = sum(self.profile.execs.get(id(w), 0) for w in writers)
+        if total_execs < MIN_COVERAGE:
+            return None
+        total_pairs = 0
+        for writer in writers:
+            for reader in readers:
+                total_pairs += self.profile.pairs.get(
+                    (id(writer), id(reader), self.loop_id, cross), 0
+                )
+        return min(1.0, total_pairs / total_execs)
+
+    def covers(self, writer: Instr) -> bool:
+        return self.profile.execs.get(id(writer), 0) >= MIN_COVERAGE

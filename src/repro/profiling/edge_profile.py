@@ -1,0 +1,85 @@
+"""Control-flow edge profiling.
+
+The paper's *basic compilation* "used only control flow edge profiling";
+the reaching probabilities it produces annotate the dependence graph and
+the cost graph (§4).  This tracer counts CFG edge traversals and block
+executions, and derives branch probabilities and average loop trip
+counts from them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import Loop
+from repro.ir.block import Block
+from repro.ir.function import Function
+from repro.profiling.interp import Tracer
+
+
+class EdgeProfile(Tracer):
+    """Edge and block execution counts, per function."""
+
+    def __init__(self):
+        #: (func_name, src_label, dst_label) -> traversal count
+        self.edge_counts: Dict[Tuple[str, str, str], int] = {}
+        #: (func_name, label) -> execution count
+        self.block_counts: Dict[Tuple[str, str], int] = {}
+        #: func_name -> invocation count
+        self.call_counts: Dict[str, int] = {}
+
+    # -- tracer hooks ----------------------------------------------------
+
+    def on_enter_function(self, func: Function, args) -> None:
+        self.call_counts[func.name] = self.call_counts.get(func.name, 0) + 1
+
+    def on_block(self, func: Function, block: Block, prev_label: Optional[str]) -> None:
+        key = (func.name, block.label)
+        self.block_counts[key] = self.block_counts.get(key, 0) + 1
+
+    def on_edge(self, func: Function, src_label: str, dst_label: str) -> None:
+        key = (func.name, src_label, dst_label)
+        self.edge_counts[key] = self.edge_counts.get(key, 0) + 1
+
+    # -- derived quantities -------------------------------------------------
+
+    def edge_count(self, func_name: str, src: str, dst: str) -> int:
+        return self.edge_counts.get((func_name, src, dst), 0)
+
+    def block_count(self, func_name: str, label: str) -> int:
+        return self.block_counts.get((func_name, label), 0)
+
+    def branch_prob(self, func_name: str, src: str, dst: str) -> float:
+        """P(control flows src->dst | control reached src).
+
+        Falls back to an even split when the source was never executed.
+        """
+        taken = self.edge_count(func_name, src, dst)
+        total = sum(
+            count
+            for (fn, s, _), count in self.edge_counts.items()
+            if fn == func_name and s == src
+        )
+        if total == 0:
+            return 0.5
+        return taken / total
+
+    def trip_count(self, func: Function, loop: Loop, cfg: CFG = None) -> float:
+        """Average iterations per loop entry (0 if never entered)."""
+        cfg = cfg or CFG.build(func)
+        entries = sum(
+            self.edge_count(func.name, src, loop.header)
+            for src, _ in loop.entry_edges(cfg)
+        )
+        back = sum(
+            self.edge_count(func.name, latch, loop.header)
+            for latch in loop.latches(cfg)
+        )
+        if entries == 0:
+            return 0.0
+        return (entries + back) / entries
+
+    def loop_iterations(self, func: Function, loop: Loop, cfg: CFG = None) -> int:
+        """Total header executions (= total iterations started)."""
+        return self.block_count(func.name, loop.header)

@@ -1,0 +1,83 @@
+"""Terminal bar charts for the figure reproductions.
+
+The paper presents Figures 14-18 as bar charts; these helpers render
+the same series as unicode bars so `repro report` output reads like the
+figures, not just their data tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    filled = max(0.0, value) / scale * width
+    whole = int(filled)
+    frac = filled - whole
+    bar = "█" * whole
+    partial_index = int(frac * (len(_BLOCKS) - 1))
+    if partial_index > 0 and whole < width:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    title: str = None,
+    width: int = 40,
+    fmt: str = "{:.3f}",
+    baseline: float = 0.0,
+) -> str:
+    """One bar per row; values measured from ``baseline`` (e.g. 1.0 for
+    speedups so the bar shows the gain)."""
+    if not rows:
+        return title or ""
+    label_width = max(len(label) for label, _ in rows)
+    scale = max(value - baseline for _, value in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        bar = _bar(value - baseline, scale, width)
+        lines.append(
+            f"{label.rjust(label_width)} | {bar.ljust(width)} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[Tuple[str, Sequence[float]]],
+    series: Sequence[str],
+    title: str = None,
+    width: int = 36,
+    fmt: str = "{:.3f}",
+    baseline: float = 0.0,
+) -> str:
+    """Grouped bars (one group per row, one bar per series) -- the shape
+    of the paper's Figure 14."""
+    if not rows:
+        return title or ""
+    label_width = max(
+        [len(label) for label, _ in rows] + [len(name) for name in series]
+    )
+    scale = max(
+        (value - baseline for _, values in rows for value in values),
+        default=0.0,
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, values in rows:
+        for name, value in zip(series, values):
+            bar = _bar(value - baseline, scale, width)
+            prefix = label if name == series[0] else ""
+            lines.append(
+                f"{prefix.rjust(label_width)} {name:>12s} | "
+                f"{bar.ljust(width)} {fmt.format(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

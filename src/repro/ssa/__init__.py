@@ -1,0 +1,21 @@
+"""SSA construction, destruction, and cleanup optimizations."""
+
+from repro.ssa.construct import build_ssa
+from repro.ssa.destruct import destruct_ssa
+from repro.ssa.optimize import (
+    copy_propagate,
+    eliminate_dead_code,
+    fold_constants,
+    optimize,
+    simplify_branches,
+)
+
+__all__ = [
+    "build_ssa",
+    "copy_propagate",
+    "destruct_ssa",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize",
+    "simplify_branches",
+]

@@ -1,0 +1,151 @@
+"""Pruned SSA construction (Cytron-style).
+
+Phi nodes are placed at iterated dominance frontiers of each variable's
+definition sites, restricted to variables live across a join (pruned
+form, approximated via semi-pruned "non-local" variables: variables used
+in a block before being defined there).  Renaming walks the dominator
+tree, versioning each base variable as ``name.N``.
+
+The paper's framework runs inside ORC's SSA-based WOPT phase (§1); this
+module is our equivalent entry point: the frontend emits non-SSA IR and
+everything downstream assumes `build_ssa` has run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instr import Phi
+from repro.ir.values import Const, Var
+
+
+def _non_local_variables(func: Function) -> Set[str]:
+    """Base names used in some block before any local definition.
+
+    Only these can be live across a join, so only these need phis
+    (semi-pruned SSA).
+    """
+    non_local: Set[str] = set()
+    for blk in func.blocks:
+        defined: Set[str] = set()
+        for instr in blk.instrs:
+            for value in instr.uses():
+                if isinstance(value, Var) and value.name not in defined:
+                    non_local.add(value.name)
+            if instr.dest is not None:
+                defined.add(instr.dest.name)
+    return non_local
+
+
+def _definition_blocks(func: Function) -> Dict[str, Set[str]]:
+    sites: Dict[str, Set[str]] = {}
+    for param in func.params:
+        sites.setdefault(param.name, set()).add(func.entry.label)
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            if instr.dest is not None:
+                sites.setdefault(instr.dest.name, set()).add(blk.label)
+    return sites
+
+
+def build_ssa(func: Function) -> None:
+    """Convert ``func`` to SSA form in place."""
+    cfg = CFG.build(func)
+    domtree = DominatorTree.build(func, cfg=cfg)
+    frontiers = domtree.dominance_frontiers()
+    reachable = cfg.reachable()
+
+    # Drop unreachable blocks first; they have no dominator information.
+    func.blocks = [blk for blk in func.blocks if blk.label in reachable]
+    cfg = CFG.build(func)
+    domtree = DominatorTree.build(func, cfg=cfg)
+    frontiers = domtree.dominance_frontiers()
+
+    non_local = _non_local_variables(func)
+    def_blocks = _definition_blocks(func)
+    block_map = func.block_map()
+
+    # -- phi placement at iterated dominance frontiers -----------------
+    phi_placed: Dict[str, Set[str]] = {blk.label: set() for blk in func.blocks}
+    for name, sites in def_blocks.items():
+        if name not in non_local and len(sites) <= 1:
+            continue
+        worklist = list(sites)
+        while worklist:
+            site = worklist.pop()
+            for frontier_label in frontiers.get(site, ()):
+                if name in phi_placed[frontier_label]:
+                    continue
+                phi_placed[frontier_label].add(name)
+                var = Var(name)
+                block_map[frontier_label].add_phi(Phi(var, {}))
+                if frontier_label not in sites:
+                    sites = sites | {frontier_label}
+                    worklist.append(frontier_label)
+
+    # -- renaming --------------------------------------------------------
+    counters: Dict[str, int] = {}
+    stacks: Dict[str, List[Var]] = {}
+
+    def fresh_version(name: str) -> Var:
+        counters[name] = counters.get(name, 0) + 1
+        var = Var(name).with_version(counters[name])
+        stacks.setdefault(name, []).append(var)
+        return var
+
+    def current(name: str) -> Var:
+        stack = stacks.get(name)
+        if not stack:
+            # Use of a variable on a path with no definition: treat as an
+            # implicit zero-initialized version (mirrors the frontend's
+            # default-initialized locals).
+            return fresh_version(name)
+        return stack[-1]
+
+    new_params = []
+    for param in func.params:
+        new_params.append(fresh_version(param.name))
+    func.params = new_params
+
+    def rename_block(label: str) -> None:
+        blk = block_map[label]
+        pushed: List[str] = []
+
+        for instr in blk.instrs:
+            if not isinstance(instr, Phi):
+                for value in list(instr.uses()):
+                    if isinstance(value, Var):
+                        instr.replace_use(value, current(value.base))
+            if instr.dest is not None:
+                base = instr.dest.base
+                instr.dest = fresh_version(base)
+                pushed.append(base)
+
+        for succ_label in cfg.succs[label]:
+            succ = block_map[succ_label]
+            for phi in succ.phis():
+                base = phi.dest.base
+                if stacks.get(base):
+                    phi.incomings[label] = current(base)
+                else:
+                    phi.incomings[label] = Const(0)
+
+        for child in sorted(domtree.children(label)):
+            rename_block(child)
+
+        for base in pushed:
+            stacks[base].pop()
+
+    rename_block(func.entry.label)
+
+    # Phis whose incomings never got a version on some path keep Const(0);
+    # drop degenerate phis with no incomings (unreachable joins).
+    for blk in func.blocks:
+        blk.instrs = [
+            instr
+            for instr in blk.instrs
+            if not (isinstance(instr, Phi) and not instr.incomings)
+        ]

@@ -1,0 +1,57 @@
+"""Out-of-SSA translation.
+
+Phi nodes are replaced by copies at the end of each predecessor block
+(with edge splitting when the predecessor has multiple successors, to
+avoid the lost-copy problem).  Parallel-copy semantics are respected by
+first copying every phi source into a fresh temporary, then the
+temporaries into the destinations -- this also neutralizes the swap
+problem without a full interference analysis.
+
+The interpreter executes phi nodes natively, so destruction is only
+needed when emitting "machine-like" linear code; it is exercised by
+tests to validate SSA round-tripping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.cfg import CFG, split_edge
+from repro.ir.function import Function
+from repro.ir.instr import Copy, Phi
+from repro.ir.values import Value, Var
+
+
+def destruct_ssa(func: Function) -> None:
+    """Replace all phi nodes with copies, in place."""
+    cfg = CFG.build(func)
+
+    # Split critical edges into blocks that contain phis.
+    for blk in list(func.blocks):
+        if not any(True for _ in blk.phis()):
+            continue
+        for pred_label in list(cfg.preds[blk.label]):
+            if len(cfg.succs[pred_label]) > 1:
+                split_edge(func, pred_label, blk.label, "crit")
+                cfg = CFG.build(func)
+
+    cfg = CFG.build(func)
+    block_map = func.block_map()
+
+    # Gather copies to insert: pred label -> list of (dest, src).
+    pending: Dict[str, List[Tuple[Var, Value]]] = {}
+    for blk in func.blocks:
+        for phi in list(blk.phis()):
+            for pred_label, value in phi.incomings.items():
+                pending.setdefault(pred_label, []).append((phi.dest, value))
+        blk.instrs = [i for i in blk.instrs if not isinstance(i, Phi)]
+
+    for pred_label, moves in pending.items():
+        pred = block_map[pred_label]
+        temps: List[Tuple[Var, Value]] = []
+        for dest, src in moves:
+            temp = func.fresh_var(f"phi_{dest.base}")
+            pred.insert_before_terminator(Copy(temp, src))
+            temps.append((dest, temp))
+        for dest, temp in temps:
+            pred.insert_before_terminator(Copy(dest, temp))

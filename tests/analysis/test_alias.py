@@ -1,0 +1,96 @@
+"""Alias analysis unit tests."""
+
+from repro.analysis.alias import access_syms, may_alias, same_location
+from repro.ir import parse_module
+
+
+def _module():
+    return parse_module(
+        """\
+module t
+global shared[64]
+global escaping[64] escapes
+func f(p) {
+  local priv[32]
+entry:
+  a = addr shared
+  b = addr priv
+  x = load a, 0 !shared
+  y = load b, 0 !priv
+  z = load a, 1 !shared
+  w = load p, 0
+  q = load a, 0 !escaping
+  store a, 0, x !shared
+  call helper(x)
+  u = call pure hash(x)
+  ret x
+}
+"""
+    )
+
+
+def _ops(module):
+    func = module.function("f")
+    by_kind = {}
+    loads = [i for i in func.instructions() if i.opcode == "load"]
+    by_kind["load_shared0"] = loads[0]
+    by_kind["load_priv"] = loads[1]
+    by_kind["load_shared1"] = loads[2]
+    by_kind["load_unknown"] = loads[3]
+    by_kind["load_escaping"] = loads[4]
+    by_kind["store_shared0"] = next(
+        i for i in func.instructions() if i.opcode == "store"
+    )
+    calls = [i for i in func.instructions() if i.opcode == "call"]
+    by_kind["call_impure"] = calls[0]
+    by_kind["call_pure"] = calls[1]
+    return func, by_kind
+
+
+def test_distinct_nonescaping_symbols_do_not_alias():
+    module = _module()
+    func, ops = _ops(module)
+    assert not may_alias(module, func, ops["load_shared0"], ops["load_priv"])
+
+
+def test_same_symbol_distinct_const_offsets_do_not_alias():
+    module = _module()
+    func, ops = _ops(module)
+    assert not may_alias(module, func, ops["load_shared0"], ops["load_shared1"])
+    assert may_alias(module, func, ops["load_shared0"], ops["store_shared0"])
+
+
+def test_unknown_pointer_aliases_everything():
+    module = _module()
+    func, ops = _ops(module)
+    assert may_alias(module, func, ops["load_unknown"], ops["load_priv"])
+    assert may_alias(module, func, ops["load_unknown"], ops["load_shared0"])
+
+
+def test_escaping_symbol_is_conservative():
+    module = _module()
+    func, ops = _ops(module)
+    assert may_alias(module, func, ops["load_escaping"], ops["load_priv"])
+
+
+def test_impure_call_aliases_memory_ops():
+    module = _module()
+    func, ops = _ops(module)
+    assert may_alias(module, func, ops["call_impure"], ops["load_shared0"])
+    assert may_alias(module, func, ops["call_impure"], ops["call_impure"])
+
+
+def test_pure_call_aliases_nothing():
+    module = _module()
+    func, ops = _ops(module)
+    assert not may_alias(module, func, ops["call_pure"], ops["load_shared0"])
+    assert not may_alias(module, func, ops["call_pure"], ops["call_impure"])
+    assert access_syms(ops["call_pure"]) == set()
+
+
+def test_same_location():
+    module = _module()
+    func, ops = _ops(module)
+    assert same_location(ops["load_shared0"], ops["store_shared0"])
+    assert not same_location(ops["load_shared0"], ops["load_shared1"])
+    assert not same_location(ops["load_unknown"], ops["load_unknown"])

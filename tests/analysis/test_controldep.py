@@ -1,0 +1,75 @@
+"""Control dependence over loop bodies (FOW / post-dominators)."""
+
+from repro.analysis.controldep import compute_control_deps, immediate_postdominators
+from repro.analysis.loops import LoopNest
+from repro.ir import parse_function
+
+NESTED_IF = """\
+func f(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  c1 = gt s, 10
+  br c1, outer_then, latch
+outer_then:
+  c2 = gt s, 100
+  br c2, inner_then, outer_join
+inner_then:
+  s = add s, 1
+  jump outer_join
+outer_join:
+  s = add s, 2
+  jump latch
+latch:
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def _loop_and_func():
+    func = parse_function(NESTED_IF)
+    nest = LoopNest.build(func)
+    return func, nest.loops[0]
+
+
+def test_unconditional_blocks_have_no_deps():
+    func, loop = _loop_and_func()
+    deps = compute_control_deps(func, loop)
+    # body and latch run every iteration (modulo the header test).
+    assert deps.controlling_branches("latch") <= {"head"}
+    assert deps.controlling_branches("body") <= {"head"}
+
+
+def test_nested_control_dependences():
+    func, loop = _loop_and_func()
+    deps = compute_control_deps(func, loop)
+    assert "body" in deps.controlling_branches("outer_then")
+    assert "outer_then" in deps.controlling_branches("inner_then")
+    # The join after the outer if depends on the outer branch only.
+    assert "body" in deps.controlling_branches("outer_join")
+    assert "outer_then" not in deps.controlling_branches("outer_join")
+
+
+def test_is_conditional():
+    func, loop = _loop_and_func()
+    deps = compute_control_deps(func, loop)
+    assert deps.is_conditional("inner_then")
+    assert deps.is_conditional("outer_then")
+
+
+def test_immediate_postdominators():
+    func, loop = _loop_and_func()
+    ipdom = immediate_postdominators(func, loop)
+    assert ipdom["outer_then"] == "outer_join"
+    assert ipdom["inner_then"] == "outer_join"
+    assert ipdom["outer_join"] == "latch"
+    # The latch's only successor leaves the body (virtual exit -> None).
+    assert ipdom["latch"] is None

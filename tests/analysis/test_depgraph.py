@@ -1,0 +1,239 @@
+"""Dependence graph construction tests."""
+
+import math
+
+from repro.analysis.depgraph import build_dep_graph
+from repro.analysis.loops import LoopNest
+from repro.analysis.loopsummary import LoopSummary
+from repro.ir import parse_module
+from repro.ssa import build_ssa
+
+
+def _prep(source, func_name="f"):
+    module = parse_module(source)
+    func = module.function(func_name)
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    return module, func, nest
+
+
+MEMORY = """\
+module t
+func f(n) {
+  local a[64]
+  local b[64]
+entry:
+  pa = addr a
+  pb = addr b
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  x = load pa, i !a
+  y = add x, 1
+  store pb, i, y !b
+  i = add i, 1
+  jump head
+exit:
+  ret 0
+}
+"""
+
+
+def test_distinct_arrays_do_not_alias():
+    module, func, nest = _prep(MEMORY)
+    graph = build_dep_graph(module, func, nest.loops[0])
+    mem_edges = [e for e in graph.edges if e.carrier == "mem"]
+    # load !a and store !b never alias: no memory edges at all.
+    assert mem_edges == []
+
+
+RECURRENCE = """\
+module t
+func f(n) {
+  local a[64]
+entry:
+  pa = addr a
+  i = copy 1
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  prev = sub i, 1
+  x = load pa, prev !a
+  y = add x, 1
+  store pa, i, y !a
+  i = add i, 1
+  jump head
+exit:
+  ret 0
+}
+"""
+
+
+def test_same_array_gets_cross_and_intra_edges():
+    module, func, nest = _prep(RECURRENCE)
+    graph = build_dep_graph(module, func, nest.loops[0])
+    cross_mem = [
+        e for e in graph.cross_true_edges() if e.carrier == "mem"
+    ]
+    assert len(cross_mem) == 1
+    assert cross_mem[0].src.opcode == "store"
+    assert cross_mem[0].dst.opcode == "load"
+    assert math.isclose(cross_mem[0].prob, 0.5)  # static default
+    anti = [e for e in graph.edges if e.kind == "anti"]
+    assert len(anti) == 1  # load before store, same array
+
+
+def test_profiled_probabilities_override_static(tmp_path):
+    from repro.profiling import DependenceProfile, run_module
+
+    module = parse_module(RECURRENCE)
+    profile = DependenceProfile(module)
+    run_module(module, func_name="f", args=[50], tracers=[profile])
+
+    func = module.function("f")
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    loop = nest.loops[0]
+    view = profile.view("f", loop)
+    graph = build_dep_graph(module, func, loop, dep_profile=view)
+    cross_mem = [e for e in graph.cross_true_edges() if e.carrier == "mem"]
+    assert len(cross_mem) == 1
+    assert cross_mem[0].prob > 0.9  # measured: always realized
+
+
+NESTED = """\
+module t
+func f(n, m) {
+  local acc[8]
+entry:
+  p = addr acc
+  i = copy 0
+  s = copy 0
+  jump outer
+outer:
+  c0 = lt i, n
+  br c0, obody, done
+obody:
+  j = copy 0
+  t = copy 0
+  jump inner
+inner:
+  c1 = lt j, m
+  br c1, ibody, after
+ibody:
+  t = add t, j
+  j = add j, 1
+  jump inner
+after:
+  s = add s, t
+  store p, 0, s !acc
+  i = add i, 1
+  jump outer
+done:
+  ret s
+}
+"""
+
+
+def test_inner_loop_is_contracted_to_summary():
+    module, func, nest = _prep(NESTED)
+    outer = next(l for l in nest.loops if l.header == "outer")
+    graph = build_dep_graph(module, func, outer)
+    assert len(graph.summaries) == 1
+    summary = graph.summaries["inner"]
+    assert isinstance(summary, LoopSummary)
+    assert summary in graph.info
+    # The inner loop's result t feeds s = add s, t after the loop.
+    users = [
+        e.dst for e in graph.out_edges.get(summary, []) if e.kind == "true"
+    ]
+    assert any(
+        getattr(u, "dest", None) is not None and u.dest.base == "s"
+        for u in users
+    )
+
+
+def test_summary_cost_scales_with_trip_count():
+    module, func, nest = _prep(NESTED)
+    outer = next(l for l in nest.loops if l.header == "outer")
+    graph = build_dep_graph(module, func, outer)
+    summary = graph.summaries["inner"]
+    assert summary.cost > 10  # body ops times assumed trip count
+
+
+def test_inner_loop_body_instrs_absent_from_outer_graph():
+    module, func, nest = _prep(NESTED)
+    outer = next(l for l in nest.loops if l.header == "outer")
+    inner = next(l for l in nest.loops if l.header == "inner")
+    graph = build_dep_graph(module, func, outer)
+    inner_instrs = {
+        id(instr) for blk in inner.blocks(func) for instr in blk.instrs
+    }
+    for node in graph.info:
+        assert id(node) not in inner_instrs
+
+
+def test_after_inner_loop_blocks_keep_full_reach():
+    module, func, nest = _prep(NESTED)
+    outer = next(l for l in nest.loops if l.header == "outer")
+    graph = build_dep_graph(module, func, outer)
+    after_instrs = [
+        info for info in graph.info.values() if info.block == "after"
+    ]
+    assert after_instrs
+    for info in after_instrs:
+        assert math.isclose(info.reach, 1.0)
+
+
+CONTROL = """\
+module t
+func f(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  m = mod i, 2
+  z = eq m, 0
+  br z, even, odd
+even:
+  s = add s, 10
+  jump latch
+odd:
+  s = add s, 1
+  jump latch
+latch:
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def test_control_edges_attach_guarded_statements():
+    module, func, nest = _prep(CONTROL)
+    graph = build_dep_graph(module, func, nest.loops[0])
+    ctrl_edges = [e for e in graph.edges if e.kind == "control"]
+    guarded_blocks = {graph.info[e.dst].block for e in ctrl_edges}
+    assert {"even", "odd"} <= guarded_blocks
+    for e in ctrl_edges:
+        assert graph.info[e.src].block == "body"
+
+
+def test_conditional_blocks_have_half_reach():
+    module, func, nest = _prep(CONTROL)
+    graph = build_dep_graph(module, func, nest.loops[0])
+    even_info = [i for i in graph.info.values() if i.block == "even"]
+    assert even_info
+    assert math.isclose(even_info[0].reach, 0.5)
+    latch_info = [i for i in graph.info.values() if i.block == "latch"]
+    assert math.isclose(latch_info[0].reach, 1.0)

@@ -1,0 +1,92 @@
+"""Dominator tree and dominance frontier tests."""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.ir import parse_function
+
+DIAMOND = """\
+func diamond(x) {
+entry:
+  c = lt x, 10
+  br c, left, right
+left:
+  a = add x, 1
+  jump join
+right:
+  b = add x, 2
+  jump join
+join:
+  ret x
+}
+"""
+
+LOOP = """\
+func looped(n) {
+entry:
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  i = add i, 1
+  jump head
+exit:
+  ret i
+}
+"""
+
+
+def test_diamond_idoms():
+    func = parse_function(DIAMOND)
+    domtree = DominatorTree.build(func)
+    assert domtree.idom["entry"] is None
+    assert domtree.idom["left"] == "entry"
+    assert domtree.idom["right"] == "entry"
+    assert domtree.idom["join"] == "entry"
+
+
+def test_diamond_frontiers():
+    func = parse_function(DIAMOND)
+    domtree = DominatorTree.build(func)
+    frontiers = domtree.dominance_frontiers()
+    assert frontiers["left"] == {"join"}
+    assert frontiers["right"] == {"join"}
+    assert frontiers["entry"] == set()
+
+
+def test_loop_idoms_and_frontier():
+    func = parse_function(LOOP)
+    domtree = DominatorTree.build(func)
+    assert domtree.idom["head"] == "entry"
+    assert domtree.idom["body"] == "head"
+    assert domtree.idom["exit"] == "head"
+    frontiers = domtree.dominance_frontiers()
+    assert frontiers["body"] == {"head"}
+    assert frontiers["head"] == {"head"}
+
+
+def test_dominates_is_reflexive_and_transitive():
+    func = parse_function(LOOP)
+    domtree = DominatorTree.build(func)
+    for label in ("entry", "head", "body", "exit"):
+        assert domtree.dominates(label, label)
+    assert domtree.dominates("entry", "body")
+    assert not domtree.dominates("body", "exit")
+    assert domtree.strictly_dominates("entry", "exit")
+    assert not domtree.strictly_dominates("entry", "entry")
+
+
+def test_reverse_postorder_starts_at_entry():
+    func = parse_function(LOOP)
+    cfg = CFG.build(func)
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] == "entry"
+    assert set(rpo) == {"entry", "head", "body", "exit"}
+    assert rpo.index("head") < rpo.index("body")
+
+
+def test_back_edge_detection():
+    func = parse_function(LOOP)
+    cfg = CFG.build(func)
+    assert cfg.back_edges() == [("body", "head")]

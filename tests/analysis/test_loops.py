@@ -1,0 +1,108 @@
+"""Natural loop and induction variable tests."""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import (
+    LoopNest,
+    ensure_preheader,
+    find_basic_induction_variables,
+)
+from repro.ir import parse_function
+from repro.ssa import build_ssa
+
+NESTED = """\
+func nested(n, m) {
+entry:
+  i = copy 0
+  jump outer_head
+outer_head:
+  c0 = lt i, n
+  br c0, outer_body, done
+outer_body:
+  j = copy 0
+  jump inner_head
+inner_head:
+  c1 = lt j, m
+  br c1, inner_body, outer_latch
+inner_body:
+  j = add j, 1
+  jump inner_head
+outer_latch:
+  i = add i, 1
+  jump outer_head
+done:
+  ret i
+}
+"""
+
+
+def test_finds_both_loops():
+    func = parse_function(NESTED)
+    nest = LoopNest.build(func)
+    headers = {loop.header for loop in nest.loops}
+    assert headers == {"outer_head", "inner_head"}
+
+
+def test_nesting_relationship():
+    func = parse_function(NESTED)
+    nest = LoopNest.build(func)
+    outer = next(l for l in nest.loops if l.header == "outer_head")
+    inner = next(l for l in nest.loops if l.header == "inner_head")
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert outer.depth == 1
+    assert inner.depth == 2
+    assert inner.body < outer.body
+
+
+def test_loop_ids_are_outer_first():
+    func = parse_function(NESTED)
+    nest = LoopNest.build(func)
+    outer = next(l for l in nest.loops if l.header == "outer_head")
+    inner = next(l for l in nest.loops if l.header == "inner_head")
+    assert outer.loop_id < inner.loop_id
+
+
+def test_exits_and_latches():
+    func = parse_function(NESTED)
+    nest = LoopNest.build(func)
+    cfg = CFG.build(func)
+    inner = next(l for l in nest.loops if l.header == "inner_head")
+    assert inner.latches(cfg) == ["inner_body"]
+    assert inner.exit_edges(cfg) == [("inner_head", "outer_latch")]
+    outer = next(l for l in nest.loops if l.header == "outer_head")
+    assert ("outer_head", "done") in outer.exit_edges(cfg)
+
+
+def test_loop_of_block_returns_innermost():
+    func = parse_function(NESTED)
+    nest = LoopNest.build(func)
+    assert nest.loop_of_block("inner_body").header == "inner_head"
+    assert nest.loop_of_block("outer_latch").header == "outer_head"
+    assert nest.loop_of_block("entry") is None
+
+
+def test_ensure_preheader_reuses_existing_unique_pred():
+    func = parse_function(NESTED)
+    nest = LoopNest.build(func)
+    outer = next(l for l in nest.loops if l.header == "outer_head")
+    label = ensure_preheader(func, outer)
+    assert label == "entry"
+
+
+def test_induction_variable_detection():
+    func = parse_function(NESTED)
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    outer = next(l for l in nest.loops if l.header == "outer_head")
+    ivs = find_basic_induction_variables(func, outer)
+    assert len(ivs) == 1
+    assert ivs[0].var.base == "i"
+    assert ivs[0].step == 1
+
+
+def test_body_size_counts_costly_instructions():
+    func = parse_function(NESTED)
+    nest = LoopNest.build(func)
+    inner = next(l for l in nest.loops if l.header == "inner_head")
+    # inner loop: lt + add + br cost 1 each; jumps/phis cost 0.
+    assert inner.body_size(func) == 3

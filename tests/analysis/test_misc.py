@@ -1,0 +1,235 @@
+"""Coverage for smaller analysis/interp surfaces: preheader insertion,
+edge splitting, loop summaries, interpreter symbol scoping."""
+
+import pytest
+
+from repro.analysis.cfg import CFG, split_edge
+from repro.analysis.loops import LoopNest, ensure_preheader
+from repro.analysis.loopsummary import LoopSummary
+from repro.ir import parse_module
+from repro.profiling import Machine, run_module
+
+
+def test_ensure_preheader_splits_multi_entry():
+    module = parse_module(
+        """\
+module t
+func f(a, n) {
+entry:
+  c0 = lt a, 0
+  br c0, way1, way2
+way1:
+  i = copy 0
+  jump head
+way2:
+  i = copy 5
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  i = add i, 1
+  jump head
+exit:
+  ret i
+}
+"""
+    )
+    func = module.function("f")
+    nest = LoopNest.build(func)
+    loop = nest.loops[0]
+    label = ensure_preheader(func, loop)
+    cfg = CFG.build(func)
+    # The preheader is now the unique out-of-loop predecessor.
+    out_preds = [p for p in cfg.preds[loop.header] if p not in loop.body]
+    assert out_preds == [label]
+    # Semantics preserved.
+    assert run_module(module, func_name="f", args=[-1, 3])[0] == 3
+    assert run_module(module, func_name="f", args=[1, 9])[0] == 9
+
+
+def test_split_edge_updates_phis():
+    module = parse_module(
+        """\
+module t
+func f(c) {
+entry:
+  br c, a, b
+a:
+  jump join
+b:
+  jump join
+join:
+  r = phi [a: 1, b: 2]
+  ret r
+}
+"""
+    )
+    func = module.function("f")
+    new_block = split_edge(func, "a", "join")
+    phi = next(func.block("join").phis())
+    assert new_block.label in phi.incomings
+    assert "a" not in phi.incomings
+    assert run_module(module, func_name="f", args=[1])[0] == 1
+    assert run_module(module, func_name="f", args=[0])[0] == 2
+
+
+def test_split_edge_rejects_missing_edge():
+    module = parse_module(
+        """\
+module t
+func f() {
+entry:
+  jump out
+out:
+  ret 0
+}
+"""
+    )
+    with pytest.raises(ValueError):
+        split_edge(module.function("f"), "out", "entry")
+
+
+NESTED = """\
+module t
+global acc[4]
+func f(n, m) {
+entry:
+  p = addr acc
+  i = copy 0
+  jump outer
+outer:
+  c0 = lt i, n
+  br c0, obody, done
+obody:
+  j = copy 0
+  t = copy 0
+  jump inner
+inner:
+  c1 = lt j, m
+  br c1, ibody, after
+ibody:
+  t = add t, j
+  store p, 0, t !acc
+  j = add j, 1
+  jump inner
+after:
+  i = add i, 1
+  jump outer
+done:
+  ret i
+}
+"""
+
+
+def test_loop_summary_interface():
+    module = parse_module(NESTED)
+    func = module.function("f")
+    from repro.ssa import build_ssa
+
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    inner = next(l for l in nest.loops if l.header == "inner")
+    summary = LoopSummary(inner, func, trip_count=8.0)
+
+    assert summary.dest is None
+    assert summary.writes_memory
+    assert not summary.reads_memory  # the inner loop only stores
+    assert "acc" in summary.syms
+    assert summary.cost > 8  # body size x trip
+    # Live-ins include the bound m and the base pointer.
+    use_bases = {v.base for v in summary.uses()}
+    assert "m" in use_bases
+    assert summary.has_side_effects
+    mem_instrs = summary.contained_mem_instrs(func)
+    assert any(i.opcode == "store" for i in mem_instrs)
+
+
+def test_summary_cost_scales_with_trip():
+    module = parse_module(NESTED)
+    func = module.function("f")
+    from repro.ssa import build_ssa
+
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    inner = next(l for l in nest.loops if l.header == "inner")
+    small = LoopSummary(inner, func, trip_count=2.0)
+    large = LoopSummary(inner, func, trip_count=20.0)
+    assert large.cost == pytest.approx(10 * small.cost)
+
+
+def test_interpreter_symbol_scoping():
+    """A function-local array shadows a same-named global."""
+    module = parse_module(
+        """\
+module t
+global buf[8]
+func inner() {
+  local buf[8]
+entry:
+  p = addr buf
+  store p, 0, 42 !buf
+  v = load p, 0 !buf
+  ret v
+}
+func main() {
+entry:
+  g = addr buf
+  store g, 0, 7 !buf
+  x = call inner()
+  y = load g, 0 !buf
+  r = mul x, 100
+  r2 = add r, y
+  ret r2
+}
+"""
+    )
+    result, machine = run_module(module)
+    assert result == 42 * 100 + 7
+    # Distinct regions for the global and the local static.
+    assert machine.symbols["buf"] != machine.symbols["inner.buf"]
+
+
+def test_region_of_diagnostics():
+    module = parse_module(
+        """\
+module t
+global zone[16]
+func main() {
+entry:
+  p = addr zone
+  ret p
+}
+"""
+    )
+    result, machine = run_module(module)
+    assert machine.region_of(result) == "zone"
+    assert machine.region_of(result + 15) == "zone"
+    assert machine.region_of(result + 16) is None
+
+
+def test_edge_profile_trip_count_zero_when_never_entered():
+    from repro.analysis.loops import LoopNest
+    from repro.profiling import EdgeProfile
+
+    module = parse_module(
+        """\
+module t
+func main(n) {
+entry:
+  c = lt n, 0
+  br c, loop_head, out
+loop_head:
+  n = sub n, 1
+  c2 = gt n, 0
+  br c2, loop_head, out
+out:
+  ret n
+}
+"""
+    )
+    profile = EdgeProfile()
+    run_module(module, args=[5], tracers=[profile])
+    func = module.function("main")
+    nest = LoopNest.build(func)
+    assert profile.trip_count(func, nest.loops[0]) == 0.0

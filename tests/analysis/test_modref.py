@@ -1,0 +1,104 @@
+"""Interprocedural mod/ref summary tests."""
+
+from repro.analysis.modref import ModRefSummaries
+from repro.ir import parse_module
+
+SOURCE = """\
+module t
+global shared[16]
+global other[16]
+
+func reader() {
+entry:
+  p = addr shared
+  v = load p, 0 !shared
+  ret v
+}
+func writer(v) {
+entry:
+  p = addr other
+  store p, 0, v !other
+  ret 0
+}
+func wrapper(v) {
+entry:
+  r = call writer(v)
+  ret r
+}
+func pure_math(x) {
+entry:
+  y = mul x, x
+  ret y
+}
+func calls_unknown() {
+entry:
+  x = call mystery()
+  ret x
+}
+func main() {
+entry:
+  a = call reader()
+  b = call wrapper(a)
+  c = call pure_math(b)
+  ret c
+}
+"""
+
+
+def test_direct_reads_and_writes():
+    module = parse_module(SOURCE)
+    summaries = ModRefSummaries(module)
+    assert summaries.reads["reader"] == {"shared"}
+    assert summaries.writes["reader"] == set()
+    assert summaries.writes["writer"] == {"other"}
+
+
+def test_transitive_propagation():
+    module = parse_module(SOURCE)
+    summaries = ModRefSummaries(module)
+    assert summaries.writes["wrapper"] == {"other"}
+    assert summaries.writes["main"] == {"other"}
+    assert "shared" in summaries.reads["main"]
+
+
+def test_pure_computation_has_empty_summary():
+    module = parse_module(SOURCE)
+    summaries = ModRefSummaries(module)
+    assert summaries.reads["pure_math"] == set()
+    assert summaries.writes["pure_math"] == set()
+
+
+def test_unknown_callee_poisons_summary():
+    module = parse_module(SOURCE)
+    summaries = ModRefSummaries(module)
+    assert None in summaries.reads["calls_unknown"]
+    assert None in summaries.writes["calls_unknown"]
+
+
+def test_call_alias_query_uses_summary():
+    module = parse_module(SOURCE)
+    summaries = ModRefSummaries(module)
+    main = module.function("main")
+    reader_call = main.block("entry").instrs[0]
+    wrapper_call = main.block("entry").instrs[1]
+    pure_call = main.block("entry").instrs[2]
+    # reader touches `shared`, wrapper touches `other`: disjoint.
+    assert not summaries.may_alias(main, reader_call, wrapper_call)
+    # pure_math touches nothing.
+    assert not summaries.may_alias(main, pure_call, reader_call)
+    # both touch `shared` -> alias.
+    assert summaries.may_alias(main, reader_call, reader_call)
+
+
+def test_call_read_write_flags():
+    module = parse_module(SOURCE)
+    summaries = ModRefSummaries(module)
+    main = module.function("main")
+    reader_call = main.block("entry").instrs[0]
+    wrapper_call = main.block("entry").instrs[1]
+    pure_call = main.block("entry").instrs[2]
+    assert summaries.call_reads(reader_call)
+    assert not summaries.call_writes(reader_call)
+    assert summaries.call_writes(wrapper_call)
+    assert not summaries.call_reads(pure_call)
+    assert not summaries.call_writes(pure_call)

@@ -1,0 +1,84 @@
+"""Workload suite sanity tests: every benchmark compiles, runs
+deterministically, and exhibits its designed character."""
+
+import pytest
+
+from repro.benchsuite import BY_NAME, SUITE
+from repro.frontend import compile_minic
+from repro.ir import verify_module
+from repro.machine.timing import TimingModel, TimingTracer
+from repro.profiling import Machine
+from repro.ssa import build_ssa, optimize
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    modules = {}
+    for bench in SUITE:
+        module = compile_minic(bench.source, name=bench.name)
+        verify_module(module)
+        for func in module.functions.values():
+            build_ssa(func)
+            optimize(func)
+            verify_module(module, ssa=False)
+        modules[bench.name] = module
+    return modules
+
+
+def test_suite_has_ten_benchmarks():
+    assert len(SUITE) == 10
+    assert set(BY_NAME) == {
+        "bzip2",
+        "crafty",
+        "gap",
+        "gcc",
+        "gzip",
+        "mcf",
+        "parser",
+        "twolf",
+        "vortex",
+        "vpr",
+    }
+
+
+@pytest.mark.parametrize("bench", SUITE, ids=lambda b: b.name)
+def test_benchmark_runs_deterministically(bench, compiled):
+    module = compiled[bench.name]
+    machine1 = Machine(module)
+    r1 = machine1.run("main", [bench.train_n])
+    machine2 = Machine(module)
+    r2 = machine2.run("main", [bench.train_n])
+    assert r1 == r2
+    assert isinstance(r1, int)
+
+
+@pytest.mark.parametrize("bench", SUITE, ids=lambda b: b.name)
+def test_benchmark_has_loops(bench, compiled):
+    from repro.analysis.loops import LoopNest
+
+    module = compiled[bench.name]
+    nest = LoopNest.build(module.function("main"))
+    assert len(nest.loops) >= 2
+
+
+def _ipc_of(module, n):
+    tracer = TimingTracer(TimingModel())
+    machine = Machine(module)
+    machine.add_tracer(tracer)
+    machine.run("main", [n])
+    return tracer.ipc
+
+
+def test_mcf_has_lowest_ipc_band(compiled):
+    """Table 1 shape: the pointer-chasing benchmarks (mcf, vortex) sit
+    far below the compute-dense ones (gzip, bzip2, crafty)."""
+    ipc = {
+        name: _ipc_of(module, BY_NAME[name].train_n)
+        for name, module in compiled.items()
+    }
+    assert ipc["mcf"] < 0.8
+    assert ipc["vortex"] < 1.0
+    assert ipc["gzip"] > 1.2
+    assert ipc["bzip2"] > 1.2
+    assert ipc["mcf"] < ipc["gzip"]
+    assert ipc["vortex"] < ipc["crafty"]

@@ -1,0 +1,60 @@
+"""Runner smoke tests: one benchmark end to end, plus invariants that
+must hold for every run the harness produces."""
+
+import pytest
+
+from repro.benchsuite import BY_NAME, Benchmark
+from repro.benchsuite.runner import run_benchmark
+from repro.core import basic_config, best_config
+
+#: A trimmed copy of gap so the smoke test stays fast.
+SMALL = Benchmark(
+    name="gap_small",
+    description="trimmed gap for runner tests",
+    source=BY_NAME["gap"].source,
+    train_n=300,
+    eval_n=600,
+)
+
+
+@pytest.fixture(scope="module")
+def best_run():
+    return run_benchmark(SMALL, best_config(), "best")
+
+
+def test_transformed_program_matches_baseline(best_run):
+    assert best_run.result_value == best_run.base_result_value
+
+
+def test_base_metrics_populated(best_run):
+    assert best_run.base_cycles > 0
+    assert best_run.base_instructions > 0
+    assert 0.1 < best_run.base_ipc < 6.0
+
+
+def test_loop_reports_consistent(best_run):
+    for report in best_run.loops:
+        stats = report.stats
+        assert stats.iterations > 0
+        assert stats.seq_cycles > 0
+        assert stats.spt_cycles > 0
+        assert 0.0 <= stats.misspeculation_ratio <= 1.0
+        assert 0.0 <= stats.reexecution_ratio <= 1.0
+        assert stats.prefork_fraction < 1.0
+
+
+def test_program_speedup_consistent(best_run):
+    # Substituting simulated loop times must keep the total positive
+    # and the speedup in a sane band.
+    assert best_run.program_spt_cycles > 0
+    assert 0.5 < best_run.program_speedup < 3.0
+
+
+def test_coverage_bounded(best_run):
+    assert 0.0 <= best_run.coverage <= 1.0
+
+
+def test_basic_never_slower_than_margin():
+    run = run_benchmark(SMALL, basic_config(), "basic")
+    assert run.result_value == run.base_result_value
+    assert run.program_speedup > 0.97

@@ -1,0 +1,125 @@
+"""Cost model tests, including the paper's §4.2.5 worked example."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costgraph import CostGraph
+from repro.core.costmodel import (
+    CostEvaluator,
+    misspeculation_cost,
+    reexecution_probabilities,
+)
+
+
+def paper_example_graph() -> CostGraph:
+    """The cost graph of Figures 5/6.
+
+    Violation candidates D, E, F (violation probability 1: no branches),
+    operation nodes A..F with unit cost, edges:
+      D' -> A (0.2), E' -> B (0.1), F' -> C (0.2), B -> C (0.5), C -> E (1.0)
+    """
+    cg = CostGraph()
+    for vc in ("D", "E", "F"):
+        cg.add_pseudo(vc, 1.0)
+    for node in ("A", "B", "C", "D", "E", "F"):
+        cg.add_node(node, 1.0)
+    cg.add_edge_from_pseudo("D", "A", 0.2)
+    cg.add_edge_from_pseudo("E", "B", 0.1)
+    cg.add_edge_from_pseudo("F", "C", 0.2)
+    cg.add_edge("B", "C", 0.5)
+    cg.add_edge("C", "E", 1.0)
+    return cg
+
+
+def test_paper_worked_example_probabilities():
+    cg = paper_example_graph()
+    v = reexecution_probabilities(cg, prefork={"D"})
+    assert v[("pseudo", "D")] == 0.0
+    assert v[("pseudo", "E")] == 1.0
+    assert v[("pseudo", "F")] == 1.0
+    assert math.isclose(v["A"], 0.0)
+    assert math.isclose(v["B"], 0.1)
+    assert math.isclose(v["C"], 0.24)
+    assert math.isclose(v["D"], 0.0)
+    assert math.isclose(v["E"], 0.24)
+    assert math.isclose(v["F"], 0.0)
+
+
+def test_paper_worked_example_cost_is_058():
+    cg = paper_example_graph()
+    assert math.isclose(misspeculation_cost(cg, prefork={"D"}), 0.58)
+
+
+def test_empty_prefork_costs_more():
+    cg = paper_example_graph()
+    all_out = misspeculation_cost(cg, prefork=set())
+    with_d = misspeculation_cost(cg, prefork={"D"})
+    assert all_out > with_d
+    # v(A) becomes 0.2 instead of 0 -> cost increases by exactly 0.2.
+    assert math.isclose(all_out, with_d + 0.2)
+
+
+def test_full_prefork_costs_zero():
+    cg = paper_example_graph()
+    assert misspeculation_cost(cg, prefork={"D", "E", "F"}) == 0.0
+
+
+def test_costs_scale_with_node_cost():
+    cg = paper_example_graph()
+    cg.costs["C"] = 10.0
+    # Contribution of C grows from 0.24 to 2.4.
+    assert math.isclose(misspeculation_cost(cg, {"D"}), 0.58 - 0.24 + 2.4)
+
+
+def test_evaluator_caches():
+    cg = paper_example_graph()
+    evaluator = CostEvaluator(cg)
+    a = evaluator.cost({"D"})
+    b = evaluator.cost({"D"})
+    assert a == b
+    assert evaluator.evaluations == 1
+
+
+def _random_dag(draw):
+    n_vcs = draw(st.integers(1, 4))
+    n_ops = draw(st.integers(1, 8))
+    cg = CostGraph()
+    vcs = [f"vc{i}" for i in range(n_vcs)]
+    for vc in vcs:
+        cg.add_pseudo(vc, draw(st.floats(0.0, 1.0)))
+    ops = [f"op{i}" for i in range(n_ops)]
+    for op in ops:
+        cg.add_node(op, draw(st.floats(0.0, 5.0)))
+    for vc in vcs:
+        for op in ops:
+            if draw(st.booleans()):
+                cg.add_edge_from_pseudo(vc, op, draw(st.floats(0.0, 1.0)))
+    for i in range(n_ops):
+        for j in range(i + 1, n_ops):
+            if draw(st.booleans()):
+                cg.add_edge(ops[i], ops[j], draw(st.floats(0.0, 1.0)))
+    return cg, vcs
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_cost_is_monotone_in_prefork_set(data):
+    """Adding a VC to the pre-fork region never increases the cost --
+    the property the branch-and-bound pruning relies on (§5)."""
+    cg, vcs = _random_dag(data.draw)
+    subset = {vc for vc in vcs if data.draw(st.booleans())}
+    extra = data.draw(st.sampled_from(vcs))
+    cost_small = misspeculation_cost(cg, subset)
+    cost_big = misspeculation_cost(cg, subset | {extra})
+    assert cost_big <= cost_small + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_probabilities_stay_in_unit_interval(data):
+    cg, vcs = _random_dag(data.draw)
+    v = reexecution_probabilities(cg, prefork=set())
+    for value in v.values():
+        assert -1e-9 <= value <= 1.0 + 1e-9

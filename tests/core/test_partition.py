@@ -1,0 +1,240 @@
+"""Violation-candidate, VC-dep graph, and partition-search tests."""
+
+import math
+
+from repro.analysis.depgraph import build_dep_graph
+from repro.analysis.loops import LoopNest
+from repro.core.config import SptConfig
+from repro.core.costgraph import build_cost_graph
+from repro.core.costmodel import misspeculation_cost
+from repro.core.partition import brute_force_partition, find_optimal_partition
+from repro.core.vcdep import VCDepGraph, statement_closure
+from repro.core.violation import find_violation_candidates
+from repro.ir import parse_module
+from repro.ssa import build_ssa
+
+SIMPLE = """\
+module t
+func f(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  x = mul i, 3
+  s = add s, x
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def _graph_for(source, func_name="f", loop_index=0, **kwargs):
+    module = parse_module(source)
+    func = module.function(func_name)
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    loop = nest.loops[loop_index]
+    return module, func, loop, build_dep_graph(module, func, loop, **kwargs)
+
+
+def _vc_bases(candidates):
+    return sorted(vc.instr.dest.base for vc in candidates if vc.instr.dest)
+
+
+def test_violation_candidates_are_backedge_defs():
+    _, _, _, graph = _graph_for(SIMPLE)
+    candidates = find_violation_candidates(graph)
+    assert _vc_bases(candidates) == ["i", "s"]
+    for vc in candidates:
+        assert math.isclose(vc.violation_prob, 1.0)
+        assert len(vc.readers) == 1
+
+
+def test_vcdep_graph_has_no_edge_between_independent_vcs():
+    _, _, _, graph = _graph_for(SIMPLE)
+    candidates = find_violation_candidates(graph)
+    vcdep = VCDepGraph(graph, candidates)
+    assert len(vcdep) == 2
+    assert vcdep.preds[0] == set()
+    assert vcdep.preds[1] == set()
+
+
+def test_statement_closure_drags_operand_producers():
+    _, func, _, graph = _graph_for(SIMPLE)
+    candidates = find_violation_candidates(graph)
+    s_update = next(vc.instr for vc in candidates if vc.instr.dest.base == "s")
+    closure = statement_closure(graph, [s_update])
+    opcodes = sorted(
+        f"{i.opcode}:{i.dest.base}" for i in closure if i.dest is not None
+    )
+    # s = add s, x drags x = mul i, 3 plus the header phis it reads.
+    assert "binop:x" in opcodes
+    assert "binop:s" in opcodes
+
+
+def test_empty_prefork_cost_matches_manual_model():
+    _, _, _, graph = _graph_for(SIMPLE)
+    candidates = find_violation_candidates(graph)
+    cg = build_cost_graph(graph, candidates)
+    # All five costly body ops (c, br, x, s, i) re-execute with prob 1.
+    assert math.isclose(misspeculation_cost(cg, set()), 5.0)
+
+
+def test_prefork_of_induction_update_drops_cost():
+    _, _, _, graph = _graph_for(SIMPLE)
+    candidates = find_violation_candidates(graph)
+    cg = build_cost_graph(graph, candidates)
+    i_update = next(vc.instr for vc in candidates if vc.instr.dest.base == "i")
+    # With the induction update pre-fork, only s = add s, x re-executes.
+    assert math.isclose(misspeculation_cost(cg, {i_update}), 1.0)
+
+
+def test_optimal_partition_matches_brute_force_simple():
+    _, _, _, graph = _graph_for(SIMPLE)
+    config = SptConfig(prefork_fraction=0.8)
+    optimal = find_optimal_partition(graph, config)
+    brute = brute_force_partition(graph, config)
+    assert math.isclose(optimal.cost, brute.cost)
+    assert optimal.prefork_size <= config.prefork_size_threshold(
+        optimal.body_size
+    )
+
+
+def test_partition_respects_size_threshold():
+    _, _, _, graph = _graph_for(SIMPLE)
+    # Tight threshold: only the cheapest single candidate fits.
+    config = SptConfig(prefork_fraction=0.25)
+    result = find_optimal_partition(graph, config)
+    brute = brute_force_partition(graph, config)
+    assert math.isclose(result.cost, brute.cost)
+    assert result.prefork_size <= config.prefork_size_threshold(result.body_size)
+
+
+CHAINED = """\
+module t
+func f(n) {
+entry:
+  a = copy 0
+  b = copy 0
+  d = copy 0
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  a = add a, 1
+  b = add b, a
+  d = add d, b
+  i = add i, 1
+  jump head
+exit:
+  ret d
+}
+"""
+
+
+def test_chained_vcs_create_vcdep_edges():
+    _, _, _, graph = _graph_for(CHAINED)
+    candidates = find_violation_candidates(graph)
+    vcdep = VCDepGraph(graph, candidates)
+    bases = [vc.instr.dest.base for vc in vcdep.candidates]
+    a, b, d = bases.index("a"), bases.index("b"), bases.index("d")
+    assert a in vcdep.preds[b]
+    assert b in vcdep.preds[d]
+    assert a in vcdep.preds[d]  # transitive through the closure
+
+
+def test_chained_search_matches_brute_force():
+    _, _, _, graph = _graph_for(CHAINED)
+    for fraction in (0.2, 0.4, 0.6, 1.0):
+        config = SptConfig(prefork_fraction=fraction)
+        optimal = find_optimal_partition(graph, config)
+        brute = brute_force_partition(graph, config)
+        assert math.isclose(optimal.cost, brute.cost), fraction
+
+
+def test_pruning_does_not_change_result():
+    _, _, _, graph = _graph_for(CHAINED)
+    config = SptConfig(prefork_fraction=0.8)
+    pruned = find_optimal_partition(graph, config, use_pruning=True)
+    unpruned = find_optimal_partition(graph, config, use_pruning=False)
+    assert math.isclose(pruned.cost, unpruned.cost)
+    assert pruned.search_nodes <= unpruned.search_nodes
+
+
+def test_too_many_vcs_skips_loop():
+    _, _, _, graph = _graph_for(CHAINED)
+    config = SptConfig(max_violation_candidates=2)
+    result = find_optimal_partition(graph, config)
+    assert result.skipped_too_many_vcs
+    assert result.cost == float("inf")
+
+
+CONDITIONAL = """\
+module t
+func f(n) {
+entry:
+  x = copy 0
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  m = mod i, 10
+  z = eq m, 0
+  br z, update, latch
+update:
+  x = add x, 5
+  jump latch
+latch:
+  y = mul x, 2
+  call sink(y)
+  i = add i, 1
+  jump head
+exit:
+  ret x
+}
+"""
+
+
+def test_conditional_update_has_reduced_violation_prob():
+    """x is modified only ~10% of iterations; the VC expansion through
+    the latch phi must weight it by its reaching probability."""
+    module, func, loop, graph = _graph_for(CONDITIONAL)
+    candidates = find_violation_candidates(graph)
+    x_vc = next(
+        vc for vc in candidates if vc.instr.dest and vc.instr.dest.base == "x"
+    )
+    # Static estimate: the update block's reach is 0.5 (even split).
+    assert math.isclose(x_vc.violation_prob, 0.5)
+
+
+def test_conditional_update_with_edge_profile():
+    from repro.profiling import EdgeProfile, run_module
+
+    module = parse_module(CONDITIONAL)
+    profile = EdgeProfile()
+    run_module(
+        module,
+        func_name="f",
+        args=[100],
+        tracers=[profile],
+        intrinsics={"sink": lambda m, v: None},
+    )
+    func = module.function("f")
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    graph = build_dep_graph(module, func, nest.loops[0], edge_profile=profile)
+    candidates = find_violation_candidates(graph)
+    x_vc = next(
+        vc for vc in candidates if vc.instr.dest and vc.instr.dest.base == "x"
+    )
+    assert abs(x_vc.violation_prob - 0.1) < 0.02

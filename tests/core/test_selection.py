@@ -1,0 +1,193 @@
+"""SPT loop selection tests (§6.1) plus privatization."""
+
+from repro.analysis.depgraph import build_dep_graph
+from repro.analysis.loops import LoopNest
+from repro.core.config import SptConfig, anticipated_config, basic_config, best_config
+from repro.core.partition import find_optimal_partition
+from repro.core.privatize import privatize
+from repro.core.selection import (
+    CATEGORY_BODY_TOO_LARGE,
+    CATEGORY_BODY_TOO_SMALL,
+    CATEGORY_HIGH_COST,
+    CATEGORY_LOW_TRIP,
+    CATEGORY_NEST_CONFLICT,
+    CATEGORY_TOO_MANY_VCS,
+    CATEGORY_VALID,
+    LoopCandidate,
+    category_histogram,
+    classify,
+    estimated_benefit,
+    select_spt_loops,
+)
+from repro.ir import parse_module
+from repro.ssa import build_ssa
+
+
+class _FakeLoop:
+    def __init__(self, header, body):
+        self.header = header
+        self.body = body
+
+
+class _FakePartition:
+    def __init__(self, cost, prefork_size, skipped=False):
+        self.cost = cost
+        self.prefork_size = prefork_size
+        self.skipped_too_many_vcs = skipped
+        self.candidates = []
+        self.prefork_vcs = []
+
+
+def _candidate(
+    header="h",
+    body=None,
+    cost=1.0,
+    prefork=2.0,
+    size=100.0,
+    trip=50.0,
+    iters=5000,
+    skipped=False,
+):
+    loop = _FakeLoop(header, body if body is not None else {header})
+    return LoopCandidate(
+        "main",
+        loop,
+        partition=_FakePartition(cost, prefork, skipped),
+        dynamic_body_size=size,
+        trip_count=trip,
+        total_iterations=iters,
+    )
+
+
+CONFIG = SptConfig()
+
+
+def test_good_loop_is_valid():
+    assert classify(_candidate(), CONFIG) == CATEGORY_VALID
+
+
+def test_small_body_rejected():
+    assert classify(_candidate(size=5), CONFIG) == CATEGORY_BODY_TOO_SMALL
+
+
+def test_large_body_rejected():
+    assert classify(_candidate(size=5000), CONFIG) == CATEGORY_BODY_TOO_LARGE
+
+
+def test_low_trip_rejected():
+    assert classify(_candidate(trip=1.2), CONFIG) == CATEGORY_LOW_TRIP
+
+
+def test_high_cost_rejected():
+    assert classify(_candidate(cost=50.0), CONFIG) == CATEGORY_HIGH_COST
+
+
+def test_large_prefork_rejected():
+    assert classify(_candidate(prefork=90.0), CONFIG) == CATEGORY_HIGH_COST
+
+
+def test_too_many_vcs_rejected():
+    assert classify(_candidate(skipped=True), CONFIG) == CATEGORY_TOO_MANY_VCS
+
+
+def test_benefit_grows_with_lower_cost():
+    cheap = _candidate(cost=0.5)
+    pricey = _candidate(cost=10.0)
+    assert estimated_benefit(cheap, CONFIG) > estimated_benefit(pricey, CONFIG)
+
+
+def test_nest_conflict_keeps_higher_benefit_loop():
+    outer = _candidate(header="outer", body={"outer", "inner", "x"}, iters=100)
+    inner = _candidate(header="inner", body={"inner"}, iters=10_000)
+    selected = select_spt_loops([outer, inner], CONFIG)
+    assert [c.loop.header for c in selected] == ["inner"]
+    assert outer.category == CATEGORY_NEST_CONFLICT
+
+
+def test_sibling_loops_both_selected():
+    a = _candidate(header="a", body={"a"})
+    b = _candidate(header="b", body={"b"})
+    selected = select_spt_loops([a, b], CONFIG)
+    assert len(selected) == 2
+
+
+def test_histogram_counts_each_category():
+    cands = [
+        _candidate(),
+        _candidate(size=5),
+        _candidate(trip=1.0),
+        _candidate(cost=50.0),
+    ]
+    select_spt_loops(cands, CONFIG)
+    histogram = category_histogram(cands)
+    assert histogram[CATEGORY_VALID] == 1
+    assert histogram[CATEGORY_BODY_TOO_SMALL] == 1
+    assert histogram[CATEGORY_LOW_TRIP] == 1
+    assert histogram[CATEGORY_HIGH_COST] == 1
+
+
+def test_config_presets_grow_monotonically():
+    basic = basic_config()
+    best = best_config()
+    anticipated = anticipated_config()
+    assert not basic.enable_svp and not basic.enable_dep_profiling
+    assert best.enable_svp and best.enable_dep_profiling
+    assert not best.unroll_while_loops
+    assert anticipated.unroll_while_loops
+    assert anticipated.enable_modref_summaries
+    assert anticipated.enable_privatization
+
+
+PRIVATE = """\
+module t
+func main(n) {
+  local tmp[8]
+entry:
+  p = addr tmp
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  t1 = mul i, 7
+  t2 = add t1, 3
+  t3 = mul t2, t2
+  store p, 0, t3 !tmp
+  v = load p, 0 !tmp
+  s = add s, v
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def test_privatization_removes_write_before_read_cross_edges():
+    module = parse_module(PRIVATE)
+    func = module.function("main")
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    graph = build_dep_graph(module, func, nest.loops[0])
+    before = len([e for e in graph.cross_true_edges() if e.carrier == "mem"])
+    assert before >= 1
+    removed = privatize(graph)
+    assert removed >= 1
+    after = len([e for e in graph.cross_true_edges() if e.carrier == "mem"])
+    assert after < before
+
+
+def test_privatization_lowers_partition_cost():
+    def cost_for(private: bool) -> float:
+        module = parse_module(PRIVATE)
+        func = module.function("main")
+        build_ssa(func)
+        nest = LoopNest.build(func)
+        graph = build_dep_graph(module, func, nest.loops[0])
+        if private:
+            privatize(graph)
+        return find_optimal_partition(graph, SptConfig()).cost
+
+    assert cost_for(private=True) < cost_for(private=False)

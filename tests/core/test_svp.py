@@ -1,0 +1,148 @@
+"""Software value prediction tests (paper §7.2, Figure 13)."""
+
+import copy
+import math
+
+from repro.analysis.depgraph import build_dep_graph
+from repro.analysis.loops import LoopNest
+from repro.core.config import SptConfig
+from repro.core.costgraph import build_cost_graph
+from repro.core.partition import find_optimal_partition
+from repro.core.svp import apply_svp, critical_candidates
+from repro.core.violation import find_violation_candidates
+from repro.ir import parse_module
+from repro.profiling import ValueProfile, run_module
+from repro.ssa import build_ssa
+
+# The paper's Figure 13 shape: x = bar(x), where bar adds 2.
+FIGURE13 = """\
+module t
+func bar(x) {
+entry:
+  y = add x, 2
+  ret y
+}
+func main(n) {
+entry:
+  x = copy 0
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  f = mul x, 3
+  call sink(f)
+  x = call bar(x)
+  i = add i, 1
+  jump head
+exit:
+  ret x
+}
+"""
+
+
+def _prepared():
+    module = parse_module(FIGURE13)
+    baseline = copy.deepcopy(module)
+    func = module.function("main")
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    loop = nest.loops[0]
+    graph = build_dep_graph(module, func, loop)
+    return module, baseline, func, loop, graph
+
+
+def _x_vc(graph):
+    candidates = find_violation_candidates(graph)
+    return next(
+        vc
+        for vc in candidates
+        if vc.instr.dest is not None
+        and vc.instr.dest.base == "x"
+        and vc.instr.opcode == "call"
+    )
+
+
+SINK = {"sink": lambda machine, v: None}
+
+
+def test_critical_candidate_is_the_call():
+    module, _, func, loop, graph = _prepared()
+    candidates = find_violation_candidates(graph)
+    partition = find_optimal_partition(graph, SptConfig())
+    cost_graph = build_cost_graph(graph, partition.candidates)
+    ranked = critical_candidates(partition, cost_graph)
+    assert ranked, "expected at least one critical candidate"
+    top_vc, contribution = ranked[0]
+    assert contribution > 0
+    # The unmovable x = bar(x) call dominates the cost.
+    bases = {vc.instr.dest.base for vc, _ in ranked if vc.instr.dest}
+    assert "x" in bases
+
+
+def test_svp_preserves_semantics():
+    module, baseline, func, loop, graph = _prepared()
+    vc = _x_vc(graph)
+    profile = ValueProfile([vc.instr])
+    run_module(module, args=[30], tracers=[profile], intrinsics=SINK)
+    pattern = profile.pattern_for(vc.instr)
+    assert pattern.kind == "stride"
+    assert pattern.stride == 2
+
+    info = apply_svp(module, func, loop, vc, pattern)
+    assert info is not None
+    for n in (0, 1, 2, 5, 50):
+        got, _ = run_module(module, args=[n], intrinsics=SINK)
+        want, _ = run_module(baseline, args=[n], intrinsics=SINK)
+        assert got == want, n
+
+
+def test_svp_lowers_misspeculation_cost():
+    """SVP + dependence profiling together (the paper's "best"
+    compilation) price the Figure 13 loop far below the static
+    analysis: the call's memory conservatism is discharged by the
+    profile, and the carried value by the prediction."""
+    from repro.profiling import DependenceProfile
+
+    module, baseline, func, loop, graph = _prepared()
+    dep = DependenceProfile(module)
+    run_module(module, args=[30], tracers=[dep], intrinsics=SINK)
+    view = dep.view("main", loop)
+    graph_prof = build_dep_graph(module, func, loop, dep_profile=view)
+    before = find_optimal_partition(graph_prof, SptConfig())
+    assert before.cost > 0  # x = bar(x) still serializes the loop
+
+    vc = _x_vc(graph)
+    profile = ValueProfile([vc.instr])
+    run_module(module, args=[30], tracers=[profile], intrinsics=SINK)
+    pattern = profile.pattern_for(vc.instr)
+    info = apply_svp(module, func, loop, vc, pattern)
+    assert info is not None
+
+    nest = LoopNest.build(func)
+    loop2 = next(l for l in nest.loops if l.header == loop.header)
+    view2 = dep.view("main", loop2)
+    graph2 = build_dep_graph(module, func, loop2, dep_profile=view2)
+    after = find_optimal_partition(graph2, SptConfig())
+    assert after.cost < before.cost
+
+
+def test_svp_rejects_unpredictable_pattern():
+    from repro.profiling.value_profile import ValuePattern
+
+    module, _, func, loop, graph = _prepared()
+    vc = _x_vc(graph)
+    pattern = ValuePattern("unpredictable", None, 0.0, 100)
+    assert apply_svp(module, func, loop, vc, pattern) is None
+
+
+def test_svp_check_block_gets_branch_hint():
+    module, _, func, loop, graph = _prepared()
+    vc = _x_vc(graph)
+    profile = ValueProfile([vc.instr])
+    run_module(module, args=[40], tracers=[profile], intrinsics=SINK)
+    info = apply_svp(module, func, loop, vc, profile.pattern_for(vc.instr))
+    hint = func.block(info.check_label).annotations.get("branch_hint")
+    assert hint is not None
+    assert max(hint.values()) > 0.9  # predicted-correct edge dominates

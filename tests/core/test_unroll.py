@@ -1,0 +1,135 @@
+"""Loop unrolling tests (paper §7.1)."""
+
+import pytest
+
+from repro.analysis.loops import LoopNest
+from repro.core.config import SptConfig
+from repro.core.unroll import choose_factor, unroll_function, unroll_loop
+from repro.ir import parse_module
+from repro.profiling import run_module
+from repro.ssa import build_ssa
+
+COUNTED = """\
+module t
+func main(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  s = add s, i
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def _tagged(source, kind="for"):
+    module = parse_module(source)
+    func = module.function("main")
+    func.block("head").annotations["loop_kind"] = kind
+    return module, func
+
+
+def test_unroll_preserves_semantics_for_any_trip_count():
+    for factor in (2, 3, 4):
+        for n in (0, 1, 2, 5, 7, 100):
+            module, func = _tagged(COUNTED)
+            nest = LoopNest.build(func)
+            assert unroll_loop(func, nest.loops[0], factor)
+            expected = sum(range(n))
+            assert run_module(module, args=[n])[0] == expected, (factor, n)
+
+
+def test_unrolled_loop_has_main_and_remainder():
+    module, func = _tagged(COUNTED)
+    nest = LoopNest.build(func)
+    original_size = nest.loops[0].body_size(func)
+    assert unroll_loop(func, nest.loops[0], 4)
+    nest2 = LoopNest.build(func)
+    # Guarded unrolling leaves two loops: the k-wide main loop and the
+    # original as the remainder.
+    assert len(nest2.loops) == 2
+    sizes = sorted(loop.body_size(func) for loop in nest2.loops)
+    assert sizes[0] == original_size
+    assert sizes[1] >= 3.5 * original_size
+
+
+def test_unrolled_main_loop_has_single_header_exit():
+    from repro.analysis.cfg import CFG
+    from repro.core.transform import check_transformable
+    from repro.ssa import build_ssa
+
+    module, func = _tagged(COUNTED)
+    nest = LoopNest.build(func)
+    assert unroll_loop(func, nest.loops[0], 4)
+    build_ssa(func)
+    nest2 = LoopNest.build(func)
+    big = max(nest2.loops, key=lambda l: l.body_size(func))
+    # The whole point: the unrolled loop is still SPT-transformable.
+    check_transformable(func, big)
+
+
+def test_uncounted_loop_is_left_alone():
+    source = """\
+module t
+func main(n) {
+entry:
+  x = copy 1
+  jump head
+head:
+  c = lt x, n
+  br c, body, exit
+body:
+  x = mul x, 2
+  jump head
+exit:
+  ret x
+}
+"""
+    module = parse_module(source)
+    func = module.function("main")
+    nest = LoopNest.build(func)
+    # x *= 2 is not a constant-step counter: no unrolling.
+    assert not unroll_loop(func, nest.loops[0], 4)
+    assert run_module(module, args=[100])[0] == 128
+
+
+def test_unroll_factor_targets_configured_size():
+    config = SptConfig(unroll_target_size=24, max_unroll_factor=8)
+    assert choose_factor(3, config) == 8
+    assert choose_factor(6, config) == 4
+    assert choose_factor(12, config) == 2
+    assert choose_factor(24, config) == 1
+    assert choose_factor(100, config) == 1
+
+
+def test_while_loops_skipped_unless_enabled():
+    module, func = _tagged(COUNTED, kind="while")
+    report = unroll_function(func, SptConfig(unroll_while_loops=False))
+    assert report.unrolled == []
+    assert report.skipped_while == ["head"]
+
+    module, func = _tagged(COUNTED, kind="while")
+    report = unroll_function(func, SptConfig(unroll_while_loops=True))
+    assert len(report.unrolled) == 1
+    assert run_module(module, args=[10])[0] == 45
+
+
+def test_unroll_after_ssa_is_rejected():
+    module, func = _tagged(COUNTED)
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    with pytest.raises(ValueError):
+        unroll_loop(func, nest.loops[0], 2)
+
+
+def test_unrolling_disabled_by_config():
+    module, func = _tagged(COUNTED)
+    report = unroll_function(func, SptConfig(enable_unrolling=False))
+    assert report.unrolled == []

@@ -1,0 +1,90 @@
+"""Property-based unrolling tests: guarded unrolling of random counted
+loops must preserve semantics for every trip count and factor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loops import LoopNest
+from repro.core.unroll import unroll_loop
+from repro.ir import parse_module
+from repro.profiling import run_module
+
+_BODY_STMTS = [
+    "  s = add s, i",
+    "  s = xor s, {k}",
+    "  t = mul i, {k}\n  s = add s, t",
+    "  s = add s, {k}",
+    "  u = shl i, 1\n  s = sub s, u",
+]
+
+
+@st.composite
+def counted_loop_source(draw):
+    step = draw(st.integers(1, 3))
+    start = draw(st.integers(0, 3))
+    cmp_op = draw(st.sampled_from(["lt", "le"]))
+    lines = [
+        stmt.format(k=draw(st.integers(1, 9)))
+        for stmt in draw(
+            st.lists(st.sampled_from(_BODY_STMTS), min_size=1, max_size=4)
+        )
+    ]
+    body = "\n".join(lines)
+    source = f"""\
+module t
+func main(n) {{
+entry:
+  s = copy 0
+  i = copy {start}
+  jump head
+head:
+  c = {cmp_op} i, n
+  br c, body, exit
+body:
+{body}
+  i = add i, {step}
+  jump head
+exit:
+  ret s
+}}
+"""
+    return source
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    counted_loop_source(),
+    st.integers(2, 6),
+    st.integers(0, 25),
+)
+def test_guarded_unroll_preserves_semantics(source, factor, n):
+    baseline = parse_module(source)
+    want, _ = run_module(baseline, args=[n])
+
+    module = parse_module(source)
+    func = module.function("main")
+    nest = LoopNest.build(func)
+    matched = unroll_loop(func, nest.loops[0], factor)
+    got, _ = run_module(module, args=[n])
+    assert got == want, (factor, n, matched)
+
+
+@settings(max_examples=20, deadline=None)
+@given(counted_loop_source(), st.integers(2, 4))
+def test_unrolled_function_survives_ssa_and_runs(source, factor):
+    from repro.ir import Module, verify_function
+    from repro.ssa import build_ssa, optimize
+
+    module = parse_module(source)
+    func = module.function("main")
+    nest = LoopNest.build(func)
+    unroll_loop(func, nest.loops[0], factor)
+    build_ssa(func)
+    optimize(func)
+    verify_function(module, func, ssa=True)
+
+    baseline = parse_module(source)
+    for n in (0, 1, factor, factor * 3 + 1):
+        got, _ = run_module(module, args=[n])
+        want, _ = run_module(baseline, args=[n])
+        assert got == want, n

@@ -1,0 +1,306 @@
+"""MiniC frontend tests: lexing, parsing, sema, lowering, execution."""
+
+import pytest
+
+from repro.frontend import (
+    LexError,
+    ParseError,
+    SemaError,
+    compile_minic,
+    parse_source,
+    tokenize,
+)
+from repro.ir import verify_module
+from repro.profiling import run_module
+
+
+def run_minic(source, func="main", args=(), intrinsics=None):
+    module = compile_minic(source)
+    verify_module(module)
+    result, machine = run_module(
+        module, func_name=func, args=list(args), intrinsics=intrinsics or {}
+    )
+    return result
+
+
+# -- lexer ---------------------------------------------------------------
+
+
+def test_tokenize_basic():
+    tokens = tokenize("int x = 42; // comment\nfloat y = 1.5e3;")
+    kinds = [(t.kind, t.text) for t in tokens if t.kind != "eof"]
+    assert ("keyword", "int") in kinds
+    assert ("int", "42") in kinds
+    assert ("float", "1.5e3") in kinds
+    assert ("op", ";") in kinds
+
+
+def test_tokenize_multichar_ops():
+    tokens = [t.text for t in tokenize("a <= b && c >> 2 != d")]
+    assert "<=" in tokens and "&&" in tokens and ">>" in tokens and "!=" in tokens
+
+
+def test_block_comments_track_lines():
+    tokens = tokenize("/* line1\nline2 */ int x;")
+    ident = [t for t in tokens if t.text == "x"][0]
+    assert ident.line == 2
+
+
+def test_lex_error_on_garbage():
+    with pytest.raises(LexError):
+        tokenize("int x = @;")
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def test_parse_precedence():
+    program = parse_source("int f() { return 1 + 2 * 3; }")
+    ret = program.functions[0].body.stmts[0]
+    assert ret.value.op == "+"
+    assert ret.value.rhs.op == "*"
+
+
+def test_parse_for_loop_parts():
+    program = parse_source(
+        "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }"
+    )
+    for_stmt = program.functions[0].body.stmts[1]
+    assert for_stmt.init is not None
+    assert for_stmt.cond is not None
+    assert for_stmt.step is not None
+
+
+def test_parse_error_on_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_source("int f() { return 1 }")
+
+
+def test_parse_dangling_else_binds_inner():
+    program = parse_source(
+        "int f(int a, int b) { if (a) if (b) return 1; else return 2; return 3; }"
+    )
+    outer = program.functions[0].body.stmts[0]
+    assert outer.else_body is None
+    inner = outer.then_body.stmts[0]
+    assert inner.else_body is not None
+
+
+# -- sema -------------------------------------------------------------------
+
+
+def test_sema_rejects_undeclared_variable():
+    with pytest.raises(SemaError):
+        compile_minic("int f() { return x; }")
+
+
+def test_sema_rejects_unindexed_array():
+    with pytest.raises(SemaError):
+        compile_minic("int f() { int a[4]; return a; }")
+
+
+def test_sema_rejects_break_outside_loop():
+    with pytest.raises(SemaError):
+        compile_minic("int f() { break; return 0; }")
+
+
+def test_sema_rejects_arity_mismatch():
+    with pytest.raises(SemaError):
+        compile_minic("int g(int a) { return a; } int f() { return g(1, 2); }")
+
+
+def test_sema_rejects_duplicate_declaration():
+    with pytest.raises(SemaError):
+        compile_minic("int f() { int x = 1; int x = 2; return x; }")
+
+
+def test_sema_void_return_value():
+    with pytest.raises(SemaError):
+        compile_minic("void f() { return 3; }")
+
+
+# -- lowering + execution -----------------------------------------------------
+
+
+def test_sum_loop():
+    source = """
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += i; }
+    return s;
+}
+"""
+    assert run_minic(source, args=[10]) == 45
+
+
+def test_while_loop_and_compound_assign():
+    source = """
+int main(int n) {
+    int x = 1;
+    while (x < n) { x *= 2; }
+    return x;
+}
+"""
+    assert run_minic(source, args=[100]) == 128
+
+
+def test_arrays_and_nested_loops():
+    source = """
+global int table[64];
+
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        table[i] = i * i;
+    }
+    int best = 0;
+    for (int i = 0; i < n; i++) {
+        if (table[i] > best) { best = table[i]; }
+    }
+    return best;
+}
+"""
+    assert run_minic(source, args=[9]) == 64
+
+
+def test_break_and_continue():
+    source = """
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        s += i;
+    }
+    return s;
+}
+"""
+    # 1 + 3 + 5 + 7 + 9 = 25
+    assert run_minic(source, args=[100]) == 25
+
+
+def test_short_circuit_and():
+    source = """
+int safe_div(int a, int b) {
+    if (b != 0 && a / b > 2) { return 1; }
+    return 0;
+}
+int main() {
+    return safe_div(10, 0) * 10 + safe_div(10, 3);
+}
+"""
+    assert run_minic(source) == 1
+
+
+def test_short_circuit_or():
+    source = """
+int main(int a, int b) {
+    if (a == 0 || b / a > 1) { return 1; }
+    return 0;
+}
+"""
+    assert run_minic(source, args=[0, 5]) == 1
+    assert run_minic(source, args=[2, 5]) == 1
+    assert run_minic(source, args=[5, 5]) == 0
+
+
+def test_function_calls_and_recursion_free_chain():
+    source = """
+int square(int x) { return x * x; }
+int twice(int x) { return square(x) + square(x); }
+int main(int n) { return twice(n); }
+"""
+    assert run_minic(source, args=[3]) == 18
+
+
+def test_float_arithmetic():
+    source = """
+float main(int n) {
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        acc += 1.5;
+    }
+    return acc;
+}
+"""
+    assert run_minic(source, args=[4]) == pytest.approx(6.0)
+
+
+def test_float_promotion_on_assign():
+    source = """
+float main() {
+    float x = 3;
+    return x / 2;
+}
+"""
+    assert run_minic(source) == pytest.approx(1.5)
+
+
+def test_extern_intrinsics():
+    source = """
+extern int input_next(int i);
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += input_next(i); }
+    return s;
+}
+"""
+    result = run_minic(
+        source, args=[5], intrinsics={"input_next": lambda m, i: i * 10}
+    )
+    assert result == 100
+
+
+def test_loop_kind_annotations():
+    module = compile_minic(
+        """
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += i; }
+    int j = 0;
+    while (j < n) { j += 1; }
+    return s + j;
+}
+"""
+    )
+    func = module.function("main")
+    kinds = {
+        blk.annotations.get("loop_kind")
+        for blk in func.blocks
+        if blk.annotations
+    }
+    assert kinds == {"for", "while"}
+
+
+def test_unary_operators():
+    source = """
+int main(int a) {
+    int neg = -a;
+    int inv = ~a;
+    int nt = !a;
+    return neg * 1000 + (inv + a + 1) * 100 + nt;
+}
+"""
+    assert run_minic(source, args=[7]) == -7000
+    assert run_minic(source, args=[0]) == 1
+
+
+def test_global_arrays_shared_across_functions():
+    source = """
+global int acc[4];
+
+void bump(int i) { acc[0] = acc[0] + i; }
+int main(int n) {
+    for (int i = 0; i < n; i++) { bump(i); }
+    return acc[0];
+}
+"""
+    assert run_minic(source, args=[5]) == 10
+
+
+def test_modulo_and_shift_semantics():
+    source = """
+int main(int a, int b) {
+    return (a % b) * 100 + (a << 2) + (a >> 1);
+}
+"""
+    assert run_minic(source, args=[7, 3]) == 100 + 28 + 3

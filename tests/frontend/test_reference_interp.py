@@ -1,0 +1,245 @@
+"""Differential testing of the MiniC lowering: a tiny AST-level
+reference evaluator, written independently of the IR pipeline, must
+agree with frontend-lowered code run on the IR interpreter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import ast, compile_minic, parse_source
+from repro.profiling import run_module
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class ReferenceEvaluator:
+    """Direct AST evaluation with C-like semantics."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.functions = {f.name: f for f in program.functions}
+        self.globals = {
+            g.name: [0] * g.array_size for g in program.globals
+        }
+
+    def call(self, name: str, args):
+        func = self.functions[name]
+        env = {p.name: v for p, v in zip(func.params, args)}
+        arrays = dict(self.globals)
+        try:
+            self._block(func.body, env, arrays)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    def _block(self, block: ast.Block, env, arrays):
+        for stmt in block.stmts:
+            self._stmt(stmt, env, arrays)
+
+    def _stmt(self, stmt, env, arrays):
+        if isinstance(stmt, ast.Block):
+            self._block(stmt, env, arrays)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.array_size is not None:
+                arrays[stmt.name] = [0] * stmt.array_size
+            else:
+                value = self._expr(stmt.init, env, arrays) if stmt.init else 0
+                if stmt.type_name == "float":
+                    value = float(value)
+                env[stmt.name] = value
+        elif isinstance(stmt, ast.Assign):
+            value = self._expr(stmt.value, env, arrays)
+            if isinstance(stmt.target, ast.VarRef):
+                env[stmt.target.name] = value
+            else:
+                index = self._expr(stmt.target.index, env, arrays)
+                arrays[stmt.target.name][index] = value
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr, env, arrays)
+        elif isinstance(stmt, ast.If):
+            if self._expr(stmt.cond, env, arrays):
+                self._block(stmt.then_body, env, arrays)
+            elif stmt.else_body is not None:
+                self._block(stmt.else_body, env, arrays)
+        elif isinstance(stmt, ast.While):
+            while self._expr(stmt.cond, env, arrays):
+                try:
+                    self._block(stmt.body, env, arrays)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._stmt(stmt.init, env, arrays)
+            while stmt.cond is None or self._expr(stmt.cond, env, arrays):
+                try:
+                    self._block(stmt.body, env, arrays)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self._stmt(stmt.step, env, arrays)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.Return):
+            raise _Return(
+                self._expr(stmt.value, env, arrays) if stmt.value else None
+            )
+        else:
+            raise AssertionError(stmt)
+
+    def _expr(self, expr, env, arrays):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.VarRef):
+            return env[expr.name]
+        if isinstance(expr, ast.ArrayRef):
+            return arrays[expr.name][self._expr(expr.index, env, arrays)]
+        if isinstance(expr, ast.Unary):
+            value = self._expr(expr.operand, env, arrays)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return 0 if value else 1
+            return ~int(value)
+        if isinstance(expr, ast.Binary):
+            if expr.op == "&&":
+                return 1 if (self._expr(expr.lhs, env, arrays)
+                             and self._expr(expr.rhs, env, arrays)) else 0
+            if expr.op == "||":
+                return 1 if (self._expr(expr.lhs, env, arrays)
+                             or self._expr(expr.rhs, env, arrays)) else 0
+            a = self._expr(expr.lhs, env, arrays)
+            b = self._expr(expr.rhs, env, arrays)
+            return self._binop(expr.op, a, b)
+        if isinstance(expr, ast.CallExpr):
+            args = [self._expr(a, env, arrays) for a in expr.args]
+            return self.call(expr.name, args)
+        raise AssertionError(expr)
+
+    @staticmethod
+    def _binop(op, a, b):
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if isinstance(a, float) or isinstance(b, float):
+                return a / b
+            return int(a / b)
+        if op == "%":
+            return a - b * int(a / b)
+        if op == "<<":
+            return int(a) << int(b)
+        if op == ">>":
+            return int(a) >> int(b)
+        if op == "&":
+            return int(a) & int(b)
+        if op == "|":
+            return int(a) | int(b)
+        if op == "^":
+            return int(a) ^ int(b)
+        comparisons = {
+            "<": a < b, "<=": a <= b, ">": a > b,
+            ">=": a >= b, "==": a == b, "!=": a != b,
+        }
+        return 1 if comparisons[op] else 0
+
+
+_EXPRS = [
+    "i * 3 + s",
+    "(s << 1) ^ i",
+    "T[i & 15] + 1",
+    "s % 7",
+    "s / 3 + i",
+    "-s + ~i",
+    "(i < 5) + (s >= 2)",
+    "(i % 2 == 0) && (s > 0)",
+    "(s & 255) | (i << 2)",
+]
+
+_TEMPLATE = """
+global int T[16];
+
+int main(int n) {{
+    int s = 3;
+    for (int i = 0; i < n; i++) {{
+        T[i & 15] = {expr_a};
+        if ({expr_b} > 4) {{
+            s += {expr_c};
+        }} else {{
+            s -= 1;
+        }}
+    }}
+    return s;
+}}
+"""
+
+
+def _evaluate_both(source: str, n: int):
+    program = parse_source(source)
+    reference = ReferenceEvaluator(program)
+    want = reference.call("main", [n])
+
+    module = compile_minic(source)
+    got, _ = run_module(module, args=[n])
+    if isinstance(got, bool):
+        got = int(got)
+    if isinstance(want, bool):
+        want = int(want)
+    return got, want
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(_EXPRS),
+    st.sampled_from(_EXPRS),
+    st.sampled_from(_EXPRS),
+    st.integers(0, 30),
+)
+def test_lowering_matches_reference(expr_a, expr_b, expr_c, n):
+    source = _TEMPLATE.format(expr_a=expr_a, expr_b=expr_b, expr_c=expr_c)
+    got, want = _evaluate_both(source, n)
+    assert got == want, source
+
+
+def test_reference_agrees_on_break_continue():
+    source = """
+global int T[16];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 3 == 0) { continue; }
+        if (i > 12) { break; }
+        s += i;
+    }
+    int j = 0;
+    while (1) {
+        j += 1;
+        if (j >= n) { break; }
+    }
+    return s * 100 + j;
+}
+"""
+    for n in (1, 5, 20):
+        got, want = _evaluate_both(source, n)
+        assert got == want, n

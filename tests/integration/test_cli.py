@@ -1,0 +1,132 @@
+"""CLI tests (driving main() directly; stdout via capsys)."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+global int data[256];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = (i * 37) & 255;
+        data[x] = data[x] + 1;
+        s += x & 7;
+    }
+    return s;
+}
+"""
+
+IR_PROGRAM = """\
+module tiny
+func main(n) {
+entry:
+  s = copy 0
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  s = add s, i
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "prog.ir"
+    path.write_text(IR_PROGRAM)
+    return str(path)
+
+
+def test_run_minic(minic_file, capsys):
+    assert main(["run", minic_file, "--args", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "result:" in out
+
+
+def test_run_with_timing(minic_file, capsys):
+    assert main(["run", minic_file, "--args", "100", "--timing"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC:" in out
+    assert "cycles:" in out
+
+
+def test_run_textual_ir(ir_file, capsys):
+    assert main(["run", ir_file, "--args", "10"]) == 0
+    assert "result: 45" in capsys.readouterr().out
+
+
+def test_dump_ir_roundtrips(minic_file, capsys):
+    assert main(["dump-ir", minic_file]) == 0
+    text = capsys.readouterr().out
+    from repro.ir import parse_module
+
+    module = parse_module(text)
+    assert "main" in module.functions
+
+
+def test_dump_ir_ssa(minic_file, capsys):
+    assert main(["dump-ir", minic_file, "--ssa", "--optimize"]) == 0
+    text = capsys.readouterr().out
+    assert "phi" in text
+
+
+def test_compile_reports_candidates(minic_file, capsys):
+    assert main(["compile", minic_file, "--args", "200", "--config", "best"]) == 0
+    out = capsys.readouterr().out
+    assert "loop candidates:" in out
+    assert "selected SPT loops:" in out
+
+
+def test_compile_emit_ir_contains_fork(minic_file, capsys):
+    assert main(
+        ["compile", minic_file, "--args", "200", "--emit-ir"]
+    ) == 0
+    out = capsys.readouterr().out
+    if "selected SPT loops: []" not in out:
+        assert "spt_fork" in out
+
+
+def test_simulate(minic_file, capsys):
+    code = main(["simulate", minic_file, "--args", "400", "--train-args", "150"])
+    out = capsys.readouterr().out
+    if code == 0:
+        assert "speedup" in out
+    else:
+        assert "no SPT loops" in out
+
+
+def test_report_rejects_unknown_target(capsys):
+    assert main(["report", "figNOPE"]) == 2
+    assert "unknown report target" in capsys.readouterr().err
+
+
+def test_dot_subcommand(minic_file, capsys):
+    for what in ("cfg", "depgraph", "costgraph", "vcdep"):
+        assert main(["dot", minic_file, what]) == 0, what
+        out = capsys.readouterr().out
+        assert out.startswith("digraph"), what
+
+
+def test_summary_subcommand_emits_json(minic_file, capsys):
+    import json
+
+    assert main(["summary", minic_file, "--args", "100"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "candidates" in payload
+    assert "categories" in payload
+    assert isinstance(payload["selected"], list)

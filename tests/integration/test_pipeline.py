@@ -1,0 +1,156 @@
+"""End-to-end two-pass compilation tests: MiniC source -> unroll -> SSA
+-> profile -> cost-driven partition -> selection -> SPT transformation,
+with semantic equivalence checked by execution."""
+
+import pytest
+
+from repro.core import SptConfig, Workload, basic_config, best_config, compile_spt
+from repro.core.selection import CATEGORY_VALID
+from repro.frontend import compile_minic
+from repro.profiling import run_module
+
+SOURCE = """
+global int data[4096];
+global int out[4096];
+
+int main(int n) {
+    int seed = 12345;
+    for (int i = 0; i < n; i++) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        data[i] = seed % 1000;
+    }
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i];
+        int a = x * 3 + 7;
+        int b = a * a + x;
+        int c = b * 5 + 11;
+        int d = c * c + b;
+        int e = d * 3 + c;
+        int f = e * e + d;
+        out[i] = f;
+        total += f % 97;
+    }
+    return total;
+}
+"""
+
+
+def _compile(config, n=300):
+    module = compile_minic(SOURCE)
+    workload = Workload(entry="main", args=(n,))
+    result = compile_spt(module, config, workload)
+    return module, result
+
+
+def test_pipeline_selects_the_parallel_loop():
+    module, result = _compile(SptConfig())
+    assert len(result.candidates) >= 2
+    assert result.selected, "expected at least one SPT loop"
+    histogram = result.category_histogram()
+    assert histogram[CATEGORY_VALID] >= 1
+
+
+def test_transformed_module_is_semantically_equivalent():
+    module, result = _compile(SptConfig())
+    assert result.spt_loops
+    baseline = compile_minic(SOURCE)
+    for n in (0, 1, 7, 123, 300):
+        got, machine_new = run_module(module, args=[n])
+        want, machine_old = run_module(baseline, args=[n])
+        assert got == want, n
+
+
+def test_spt_markers_present_after_compilation():
+    module, result = _compile(SptConfig())
+    opcodes = {
+        instr.opcode
+        for func in module.functions.values()
+        for instr in func.instructions()
+    }
+    assert "spt_fork" in opcodes
+    assert "spt_kill" in opcodes
+
+
+def test_unprofitable_serial_loop_not_selected():
+    source = """
+int main(int n) {
+    int acc = 1;
+    for (int i = 0; i < n; i++) {
+        acc = (acc * 7 + i) % 1000003;
+    }
+    return acc;
+}
+"""
+    module = compile_minic(source)
+    result = compile_spt(module, SptConfig(), Workload(args=(300,)))
+    # The whole body is one recurrence: cost ~ body size, so selection
+    # must refuse it.
+    for candidate in result.selected:
+        assert candidate.partition.cost_ratio < 0.2
+
+
+def test_basic_vs_best_config_coverage():
+    """Dependence profiling + SVP can only widen the set of loops the
+    compiler accepts."""
+    _, result_basic = _compile(basic_config())
+    _, result_best = _compile(best_config())
+    assert len(result_best.selected) >= len(result_basic.selected)
+
+
+def test_best_config_equivalence_with_svp():
+    source = """
+global int buf[2048];
+extern int observe(int v);
+
+int main(int n) {
+    int cursor = 0;
+    for (int i = 0; i < n; i++) {
+        int x = buf[cursor];
+        int a = x * 3 + i;
+        int b = a * a;
+        int c = b + x * 7;
+        int d = c * c + a;
+        buf[cursor] = d % 251;
+        cursor = (cursor + 2) % 2048;
+        observe(d);
+    }
+    return cursor;
+}
+"""
+    sink = {"observe": lambda machine, v: 0}
+    module = compile_minic(source)
+    workload = Workload(args=(200,), intrinsics=sink)
+    result = compile_spt(module, best_config(), workload)
+    baseline = compile_minic(source)
+    for n in (0, 5, 200):
+        got, _ = run_module(module, args=[n], intrinsics=sink)
+        want, _ = run_module(baseline, args=[n], intrinsics=sink)
+        assert got == want, n
+
+
+def test_while_loop_only_unrolled_in_anticipated():
+    source = """
+int main(int n) {
+    int x = 0;
+    int i = 0;
+    while (i < n) {
+        x += i % 7;
+        i++;
+    }
+    return x;
+}
+"""
+    from repro.core import anticipated_config
+
+    module = compile_minic(source)
+    result = compile_spt(module, basic_config(), Workload(args=(100,)))
+    report = result.unroll_reports["main"]
+    assert report.skipped_while
+
+    module2 = compile_minic(source)
+    result2 = compile_spt(module2, anticipated_config(), Workload(args=(100,)))
+    report2 = result2.unroll_reports["main"]
+    assert report2.unrolled
+    got, _ = run_module(module2, args=[100])
+    assert got == sum(i % 7 for i in range(100))

@@ -1,0 +1,99 @@
+"""Property-based IR tests (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    BINARY_OPS,
+    Builder,
+    Const,
+    Function,
+    Module,
+    UNARY_OPS,
+    Var,
+    format_function,
+    format_module,
+    parse_function,
+    parse_module,
+    verify_function,
+)
+from repro.profiling import run_module
+
+var_names = st.sampled_from([f"v{i}" for i in range(6)])
+int_consts = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def straightline_function(draw):
+    """A random straight-line function over int temps."""
+    func = Function("f", [Var("a0"), Var("a1")])
+    b = Builder(func)
+    b.new_block("entry")
+    defined = [Var("a0"), Var("a1")]
+    for index in range(draw(st.integers(1, 12))):
+        dest = Var(f"v{index}")
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            op = draw(st.sampled_from([o for o in BINARY_OPS if o not in ("div", "mod", "shl", "shr")]))
+            lhs = draw(st.sampled_from(defined)) if draw(st.booleans()) else Const(draw(int_consts))
+            rhs = draw(st.sampled_from(defined)) if draw(st.booleans()) else Const(draw(int_consts))
+            b.binop(op, dest, lhs, rhs)
+        elif choice == 1:
+            op = draw(st.sampled_from([o for o in UNARY_OPS if o not in ("i2f", "f2i")]))
+            b.unop(op, dest, draw(st.sampled_from(defined)))
+        else:
+            b.copy(dest, draw(st.sampled_from(defined)))
+        defined.append(dest)
+    b.ret(draw(st.sampled_from(defined)))
+    return func
+
+
+@settings(max_examples=50, deadline=None)
+@given(straightline_function())
+def test_print_parse_roundtrip(func):
+    text = format_function(func)
+    reparsed = parse_function(text)
+    assert format_function(reparsed) == text
+
+
+@settings(max_examples=50, deadline=None)
+@given(straightline_function())
+def test_random_functions_verify(func):
+    module = Module("t")
+    module.add_function(func)
+    verify_function(module, func)
+
+
+@settings(max_examples=30, deadline=None)
+@given(straightline_function(), int_consts, int_consts)
+def test_roundtrip_preserves_semantics(func, a0, a1):
+    """Printing and reparsing a function cannot change its meaning."""
+    module = Module("t")
+    module.add_function(func)
+    reparsed = parse_module(format_module(module))
+    want, _ = run_module(module, func_name="f", args=[a0, a1])
+    got, _ = run_module(reparsed, func_name="f", args=[a0, a1])
+    if isinstance(want, bool) or isinstance(got, bool):
+        want, got = int(want), int(got)
+    assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(straightline_function(), int_consts, int_consts)
+def test_ssa_and_cleanup_preserve_semantics(func, a0, a1):
+    """build_ssa + the cleanup pipeline is semantics-preserving."""
+    import copy
+
+    from repro.ssa import build_ssa, optimize
+
+    module = Module("t")
+    module.add_function(func)
+    baseline = copy.deepcopy(module)
+    build_ssa(func)
+    optimize(func)
+    verify_function(module, func, ssa=True)
+    want, _ = run_module(baseline, func_name="f", args=[a0, a1])
+    got, _ = run_module(module, func_name="f", args=[a0, a1])
+    if isinstance(want, bool) or isinstance(got, bool):
+        want, got = int(want), int(got)
+    assert got == want

@@ -1,0 +1,140 @@
+"""Printer/parser round-tripping and basic IR structure tests."""
+
+import pytest
+
+from repro.ir import (
+    Builder,
+    Const,
+    Function,
+    IRParseError,
+    Var,
+    format_function,
+    format_module,
+    parse_function,
+    parse_module,
+)
+
+SAMPLE = """\
+module sample
+global err[100]
+
+func accumulate(n) {
+  local buf[64]
+entry:
+  i = copy 0
+  s = copy 0.0
+  jump head
+head:
+  i.2 = phi [body: i.3, entry: i]
+  s.2 = phi [body: s.3, entry: s]
+  c = lt i.2, n
+  br c, body, exit
+body:
+  a = addr buf
+  x = load a, i.2 !buf
+  y = abs x
+  s.3 = add s.2, y
+  i.3 = add i.2, 1
+  call log(i.3)
+  jump head
+exit:
+  spt_kill 0
+  ret s.2
+}
+"""
+
+
+def test_module_roundtrip_is_stable():
+    module = parse_module(SAMPLE)
+    text1 = format_module(module)
+    text2 = format_module(parse_module(text1))
+    assert text1 == text2
+
+
+def test_parse_preserves_structure():
+    module = parse_module(SAMPLE)
+    func = module.function("accumulate")
+    assert [b.label for b in func.blocks] == ["entry", "head", "body", "exit"]
+    assert func.params == [Var("n")]
+    assert "buf" in func.arrays
+    assert func.arrays["buf"].size == 64
+    assert "err" in module.globals
+
+
+def test_phi_incomings_parse():
+    module = parse_module(SAMPLE)
+    head = module.function("accumulate").block("head")
+    phis = list(head.phis())
+    assert len(phis) == 2
+    assert phis[0].incomings == {"body": Var("i.3"), "entry": Var("i")}
+
+
+def test_load_sym_annotation_roundtrips():
+    module = parse_module(SAMPLE)
+    body = module.function("accumulate").block("body")
+    loads = [i for i in body.instrs if i.opcode == "load"]
+    assert loads[0].sym == "buf"
+
+
+def test_float_constants_roundtrip():
+    module = parse_module(SAMPLE)
+    entry = module.function("accumulate").block("entry")
+    copies = [i for i in entry.instrs if i.opcode == "copy"]
+    assert copies[1].src == Const(0.0)
+    assert "0.0" in format_function(module.function("accumulate"))
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(IRParseError):
+        parse_function("func f() {\nentry:\n  x = frobnicate y\n}")
+
+
+def test_parse_rejects_instruction_outside_block():
+    with pytest.raises(IRParseError):
+        parse_function("func f() {\n  x = copy 1\n}")
+
+
+def test_builder_produces_parseable_ir():
+    func = Function("double_all", [Var("n")])
+    b = Builder(func)
+    b.new_block("entry")
+    i = Var("i")
+    b.copy(i, 0)
+    b.jump("head")
+    b.new_block("head")
+    c = b.fresh("c")
+    b.lt(c, i, Var("n"))
+    b.branch(c, "body", "exit")
+    b.new_block("body")
+    base = b.fresh("base")
+    b.addr(base, "data")
+    x = b.fresh("x")
+    b.load(x, base, i, sym="data")
+    b.mul(x, x, 2)
+    b.store(base, i, x, sym="data")
+    b.add(i, i, 1)
+    b.jump("head")
+    b.new_block("exit")
+    b.ret()
+    func.declare_array("data", 128)
+
+    text = format_function(func)
+    reparsed = parse_function(text)
+    assert format_function(reparsed) == text
+
+
+def test_block_append_after_terminator_raises():
+    func = Function("f")
+    b = Builder(func)
+    b.new_block("entry")
+    b.ret()
+    with pytest.raises(ValueError):
+        b.copy(Var("x"), 1)
+
+
+def test_terminator_and_successors():
+    module = parse_module(SAMPLE)
+    func = module.function("accumulate")
+    assert func.block("head").successors() == ["body", "exit"]
+    assert func.block("exit").successors() == []
+    assert func.block("entry").successors() == ["head"]

@@ -1,0 +1,101 @@
+"""Value, type, and def-use chain unit tests."""
+
+import pytest
+
+from repro.analysis.defuse import DefUse
+from repro.ir import BOOL, FLOAT, INT, PTR, Const, Var, as_value, parse_function
+from repro.ir.types import BY_NAME, join
+from repro.ssa import build_ssa
+
+
+def test_type_singletons():
+    assert BY_NAME["int"] is INT
+    assert BY_NAME["float"] is FLOAT
+    assert INT.is_numeric and FLOAT.is_numeric
+    assert not BOOL.is_numeric and not PTR.is_numeric
+
+
+def test_type_join():
+    assert join(INT, FLOAT) is FLOAT
+    assert join(INT, INT) is INT
+    assert join(PTR, INT) is PTR
+    assert join(FLOAT, PTR) is FLOAT
+
+
+def test_const_inference_and_equality():
+    assert Const(3).type is INT
+    assert Const(1.5).type is FLOAT
+    assert Const(True).type is BOOL
+    assert Const(3) == Const(3)
+    assert Const(3) != Const(3.0)
+    assert hash(Const(7)) == hash(Const(7))
+
+
+def test_var_identity_and_versions():
+    assert Var("x") == Var("x")
+    assert Var("x") != Var("y")
+    versioned = Var("x").with_version(3)
+    assert versioned.name == "x.3"
+    assert versioned.base == "x"
+    assert Var("x.3").base == "x"
+
+
+def test_as_value_coercion():
+    assert as_value(5) == Const(5)
+    assert as_value(Var("a")) == Var("a")
+    with pytest.raises(TypeError):
+        as_value("nope")
+
+
+def test_defuse_chains():
+    func = parse_function(
+        """\
+func f(n) {
+entry:
+  a = add n, 1
+  b = mul a, a
+  call sink(b)
+  ret b
+}
+"""
+    )
+    build_ssa(func)
+    du = DefUse(func)
+    a = next(v for v in du.defs if v.base == "a")
+    b = next(v for v in du.defs if v.base == "b")
+    assert du.def_of(a).instr.opcode == "binop"
+    assert len(du.uses_of(a)) == 2  # both operands of the mul
+    assert len(du.uses_of(b)) == 2  # call arg + return
+    assert not du.is_dead(b)
+    n = next(p for p in func.params)
+    assert len(du.uses_of(n)) == 1
+
+
+def test_defuse_rejects_non_ssa():
+    func = parse_function(
+        """\
+func f() {
+entry:
+  x = copy 1
+  x = copy 2
+  ret x
+}
+"""
+    )
+    with pytest.raises(ValueError, match="not in SSA"):
+        DefUse(func)
+
+
+def test_config_validation():
+    from repro.core import SptConfig
+
+    with pytest.raises(ValueError):
+        SptConfig(prefork_fraction=1.5)
+    with pytest.raises(ValueError):
+        SptConfig(min_body_size=100, max_body_size=10)
+    with pytest.raises(ValueError):
+        SptConfig(max_unroll_factor=0)
+    with pytest.raises(ValueError):
+        SptConfig(cycles_per_op=0.0)
+    config = SptConfig().with_overrides(cost_fraction=0.3)
+    assert config.cost_fraction == 0.3

@@ -1,0 +1,163 @@
+"""IR verifier tests: every well-formedness rule must fire."""
+
+import pytest
+
+from repro.ir import (
+    Builder,
+    Function,
+    Module,
+    Phi,
+    Var,
+    VerificationError,
+    parse_module,
+    verify_function,
+    verify_module,
+)
+
+
+def _module_of(text):
+    return parse_module(text)
+
+
+def test_valid_module_passes():
+    module = _module_of(
+        """\
+module t
+func f(n) {
+entry:
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  i = add i, 1
+  jump head
+exit:
+  ret i
+}
+"""
+    )
+    verify_module(module)
+
+
+def test_missing_terminator_detected():
+    module = Module("t")
+    func = Function("f")
+    module.add_function(func)
+    func.add_block("entry").instrs.append(
+        # no terminator
+        __import__("repro.ir.instr", fromlist=["Copy"]).Copy(Var("x"), Var("y"))
+    )
+    with pytest.raises(VerificationError, match="missing terminator"):
+        verify_function(module, func)
+
+
+def test_branch_to_unknown_block_detected():
+    module = _module_of(
+        """\
+module t
+func f() {
+entry:
+  jump nowhere
+}
+"""
+    )
+    # Parsing succeeds; verification must flag the dangling target.
+    with pytest.raises(VerificationError, match="unknown block"):
+        verify_module(module)
+
+
+def test_phi_incomings_must_match_predecessors():
+    module = _module_of(
+        """\
+module t
+func f(x) {
+entry:
+  c = lt x, 0
+  br c, a, b
+a:
+  jump join
+b:
+  jump join
+join:
+  y = phi [a: 1]
+  ret y
+}
+"""
+    )
+    with pytest.raises(VerificationError, match="phi"):
+        verify_module(module)
+
+
+def test_memory_op_with_undeclared_symbol_detected():
+    module = _module_of(
+        """\
+module t
+func f(p) {
+entry:
+  x = load p, 0 !ghost
+  ret x
+}
+"""
+    )
+    with pytest.raises(VerificationError, match="undeclared array"):
+        verify_module(module)
+
+
+def test_ssa_double_definition_detected():
+    module = _module_of(
+        """\
+module t
+func f() {
+entry:
+  x = copy 1
+  x = copy 2
+  ret x
+}
+"""
+    )
+    verify_module(module)  # fine structurally
+    with pytest.raises(VerificationError, match="redefined"):
+        verify_module(module, ssa=True)
+
+
+def test_ssa_use_before_def_detected():
+    module = _module_of(
+        """\
+module t
+func f(c) {
+entry:
+  br c, a, b
+a:
+  x = copy 1
+  jump join
+b:
+  jump join
+join:
+  y = add x, 1
+  ret y
+}
+"""
+    )
+    with pytest.raises(VerificationError, match="not dominated"):
+        verify_module(module, ssa=True)
+
+
+def test_phi_after_non_phi_detected():
+    module = _module_of(
+        """\
+module t
+func f(x) {
+entry:
+  jump next
+next:
+  y = copy x
+  ret y
+}
+"""
+    )
+    block = module.function("f").block("next")
+    block.instrs.insert(1, Phi(Var("z"), {"entry": Var("x")}))
+    with pytest.raises(VerificationError, match="phi after non-phi"):
+        verify_module(module)

@@ -1,0 +1,144 @@
+"""SPT trace collector behaviour: region split, call aggregation,
+invocation boundaries."""
+
+from repro.analysis.loops import LoopNest
+from repro.ir import parse_module
+from repro.machine.spt_sim import SptTraceCollector, simulate_spt_loop
+from repro.machine.timing import TimingModel
+from repro.profiling import run_module
+
+WITH_CALL = """\
+module t
+global shared[64]
+func helper(v) {
+entry:
+  p = addr shared
+  old = load p, 0 !shared
+  new = add old, v
+  store p, 0, new !shared
+  ret new
+}
+func main(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  i = add i, 1
+  spt_fork 0
+  x = mul i, 3
+  r = call helper(x)
+  s = add s, r
+  jump head
+exit:
+  spt_kill 0
+  ret s
+}
+"""
+
+
+def _collect(source, args, func_name="main", header="head"):
+    module = parse_module(source)
+    func = module.function(func_name)
+    nest = LoopNest.build(func)
+    loop = next(l for l in nest.loops if l.header == header)
+    collector = SptTraceCollector(
+        func_name, loop.header, loop.body, 0, TimingModel()
+    )
+    run_module(module, func_name=func_name, args=args, tracers=[collector])
+    return collector
+
+
+def test_region_split_at_fork():
+    collector = _collect(WITH_CALL, [10])
+    iterations = collector.invocations[0]
+    assert len(iterations) == 10
+    trace = iterations[3]
+    pre_ops = [op for op in trace.ops if op.pre_fork]
+    post_ops = [op for op in trace.ops if not op.pre_fork]
+    # pre-fork: phi(i), lt, br, i-add; post: mul, call, s-add, jump, phi(s)...
+    pre_opcodes = {op.instr.opcode for op in pre_ops}
+    assert "binop" in pre_opcodes  # the induction update
+    post_opcodes = {op.instr.opcode for op in post_ops}
+    assert "call" in post_opcodes
+
+
+def test_call_aggregation():
+    collector = _collect(WITH_CALL, [5])
+    trace = collector.invocations[0][2]
+    call_ops = [op for op in trace.ops if op.instr.opcode == "call"]
+    assert len(call_ops) == 1
+    call = call_ops[0]
+    # The callee's loads/stores are folded into the call record.
+    assert call.mem_reads, "callee load not attributed to the call"
+    assert call.mem_writes, "callee store not attributed to the call"
+    # The callee's latency is charged onto the call op.
+    assert call.latency > 1.0
+    # The call's return value registers as a def.
+    assert call.def_name is not None
+
+
+def test_call_carried_dependence_causes_misspeculation():
+    """helper() carries shared[0] across iterations: every speculative
+    call reads what the main thread's post-fork call wrote."""
+    collector = _collect(WITH_CALL, [40])
+    stats = simulate_spt_loop(collector)
+    assert stats.misspeculation_ratio > 0.1
+
+
+MULTI_INVOCATION = """\
+module t
+func work(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  i = add i, 1
+  spt_fork 0
+  s = add s, i
+  jump head
+exit:
+  spt_kill 0
+  ret s
+}
+func main(m) {
+entry:
+  a = call work(3)
+  b = call work(m)
+  r = add a, b
+  ret r
+}
+"""
+
+
+def test_multiple_invocations_tracked_separately():
+    collector = _collect(MULTI_INVOCATION, [5], func_name="work", header="head")
+    # The collector watches `work`, which main calls twice.
+    module = parse_module(MULTI_INVOCATION)
+    func = module.function("work")
+    nest = LoopNest.build(func)
+    loop = nest.loops[0]
+    collector = SptTraceCollector("work", loop.header, loop.body, 0, TimingModel())
+    run_module(module, func_name="main", args=[5], tracers=[collector])
+    assert len(collector.invocations) == 2
+    assert len(collector.invocations[0]) == 3
+    assert len(collector.invocations[1]) == 5
+
+
+def test_stats_accumulate_across_invocations():
+    module = parse_module(MULTI_INVOCATION)
+    func = module.function("work")
+    nest = LoopNest.build(func)
+    loop = nest.loops[0]
+    collector = SptTraceCollector("work", loop.header, loop.body, 0, TimingModel())
+    run_module(module, func_name="main", args=[6], tracers=[collector])
+    stats = simulate_spt_loop(collector)
+    assert stats.invocations == 2
+    assert stats.iterations == 9

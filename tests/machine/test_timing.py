@@ -1,0 +1,132 @@
+"""Cache, branch predictor, and timing model tests."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.machine.branchpred import BranchPredictor
+from repro.machine.cache import MemoryHierarchy
+from repro.machine.timing import (
+    MISPREDICT_PENALTY,
+    TimingModel,
+    TimingTracer,
+)
+from repro.profiling import run_module
+
+
+def test_cache_first_touch_misses_then_hits():
+    hierarchy = MemoryHierarchy()
+    assert hierarchy.access(0) == hierarchy.memory_latency
+    assert hierarchy.access(1) == 1.0  # same L1 line
+    assert hierarchy.access(0) == 1.0
+
+
+def test_cache_capacity_eviction():
+    hierarchy = MemoryHierarchy(l1_lines=2, l2_lines=4, l3_lines=8, line_words=1)
+    hierarchy.access(0)
+    hierarchy.access(1)
+    hierarchy.access(2)  # evicts line 0 from L1
+    assert hierarchy.access(0) == 5.0  # L2 hit
+
+
+def test_streaming_misses_at_line_granularity():
+    hierarchy = MemoryHierarchy()
+    latencies = [hierarchy.access(a) for a in range(64)]
+    memory_misses = sum(1 for lat in latencies if lat == hierarchy.memory_latency)
+    l1_misses = sum(1 for lat in latencies if lat > 1.0)
+    assert memory_misses == 4  # one per 16-word L2/L3 line
+    assert l1_misses == 8  # one per 8-word L1 line
+
+
+def test_branch_predictor_learns_bias():
+    predictor = BranchPredictor()
+    for _ in range(100):
+        predictor.predict_and_update(1, True)
+    assert predictor.misprediction_rate < 0.05
+
+
+def test_branch_predictor_alternating_pattern_mispredicts():
+    predictor = BranchPredictor()
+    for i in range(100):
+        predictor.predict_and_update(1, i % 2 == 0)
+    assert predictor.misprediction_rate > 0.4
+
+
+LOOP = """\
+module t
+func main(n) {
+  local data[4096]
+entry:
+  p = addr data
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load p, i !data
+  s = add s, v
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def test_timing_tracer_accumulates_cycles_and_instrs():
+    module = parse_module(LOOP)
+    tracer = TimingTracer()
+    run_module(module, args=[100], tracers=[tracer])
+    assert tracer.cycles > 0
+    assert tracer.instructions > 400  # ~5 counted ops x 100 iterations
+    assert 0 < tracer.ipc < 6
+
+
+def test_loop_cycle_attribution_and_coverage():
+    module = parse_module(LOOP)
+    tracer = TimingTracer()
+    run_module(module, args=[200], tracers=[tracer])
+    key = ("main", "head")
+    assert key in tracer.loop_cycles
+    coverage = tracer.coverage(key)
+    assert 0.8 < coverage <= 1.0  # nearly all time is in the loop
+    assert tracer.loop_entries[key] == 1
+
+
+def test_ipc_is_higher_for_compute_than_pointer_chasing():
+    compute = parse_module(LOOP.replace("v = load p, i !data", "v = mul i, 3"))
+    chase = parse_module(
+        """\
+module t
+func main(n) {
+  local data[100000]
+entry:
+  p = addr data
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  a = mul i, 977
+  m = mod a, 100000
+  v = load p, m !data
+  s = add s, v
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+    )
+    t1 = TimingTracer()
+    run_module(compute, args=[300], tracers=[t1])
+    t2 = TimingTracer()
+    run_module(chase, args=[300], tracers=[t2])
+    assert t1.ipc > t2.ipc * 1.5
+
+
+def test_mispredict_penalty_constant_matches_paper():
+    assert MISPREDICT_PENALTY == 5.0

@@ -1,0 +1,231 @@
+"""Interpreter semantics tests."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.profiling.interp import FuelExhausted, InterpError, Machine, run_module
+
+SUM_LOOP = """\
+module t
+func main(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  s = add s, i
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def test_sum_loop():
+    result, _ = run_module(parse_module(SUM_LOOP), args=[10])
+    assert result == 45
+
+
+def test_memory_and_arrays():
+    module = parse_module(
+        """\
+module t
+global acc[1]
+func main(n) {
+  local buf[16]
+entry:
+  base = addr buf
+  g = addr acc
+  i = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = mul i, i
+  store base, i, v !buf
+  i = add i, 1
+  jump head
+exit:
+  x = load base, 3 !buf
+  store g, 0, x !acc
+  ret x
+}
+"""
+    )
+    result, machine = run_module(module, args=[8])
+    assert result == 9
+    assert machine.memory[machine.symbols["acc"]] == 9
+
+
+def test_phi_execution():
+    module = parse_module(
+        """\
+module t
+func main(x) {
+entry:
+  c = lt x, 0
+  br c, neg, pos
+neg:
+  a = sub 0, x
+  jump join
+pos:
+  a = copy x
+  jump join
+join:
+  r = phi [neg: a, pos: a]
+  ret r
+}
+"""
+    )
+    assert run_module(module, args=[-5])[0] == 5
+    assert run_module(module, args=[7])[0] == 7
+
+
+def test_user_function_calls():
+    module = parse_module(
+        """\
+module t
+func square(x) {
+entry:
+  y = mul x, x
+  ret y
+}
+func main(n) {
+entry:
+  a = call square(n)
+  b = call square(a)
+  ret b
+}
+"""
+    )
+    assert run_module(module, args=[3])[0] == 81
+
+
+def test_intrinsic_call():
+    module = parse_module(
+        """\
+module t
+func main(x) {
+entry:
+  y = call twice(x)
+  ret y
+}
+"""
+    )
+    result, _ = run_module(
+        module, args=[21], intrinsics={"twice": lambda machine, x: 2 * x}
+    )
+    assert result == 42
+
+
+def test_division_semantics_are_c_like():
+    module = parse_module(
+        """\
+module t
+func main(a, b) {
+entry:
+  q = div a, b
+  r = mod a, b
+  s = add q, r
+  ret s
+}
+"""
+    )
+    # C truncation: -7 / 2 == -3, -7 % 2 == -1.
+    assert run_module(module, args=[-7, 2])[0] == -4
+
+
+def test_division_by_zero_raises():
+    module = parse_module(
+        """\
+module t
+func main(a) {
+entry:
+  q = div a, 0
+  ret q
+}
+"""
+    )
+    with pytest.raises(InterpError):
+        run_module(module, args=[1])
+
+
+def test_fuel_exhaustion():
+    module = parse_module(
+        """\
+module t
+func main() {
+entry:
+  jump entry2
+entry2:
+  jump entry
+}
+"""
+    )
+    with pytest.raises(FuelExhausted):
+        run_module(module, fuel=1000)
+
+
+def test_spt_markers_are_noops():
+    module = parse_module(
+        """\
+module t
+func main(n) {
+entry:
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  i = add i, 1
+  spt_fork 0
+  s = add s, i
+  jump head
+exit:
+  spt_kill 0
+  ret s
+}
+"""
+    )
+    assert run_module(module, args=[4])[0] == 10
+
+
+def test_undefined_variable_raises():
+    module = parse_module(
+        """\
+module t
+func main() {
+entry:
+  y = add x, 1
+  ret y
+}
+"""
+    )
+    with pytest.raises(InterpError):
+        run_module(module)
+
+
+def test_call_arity_mismatch_raises():
+    module = parse_module(
+        """\
+module t
+func f(a, b) {
+entry:
+  ret a
+}
+func main() {
+entry:
+  x = call f(1)
+  ret x
+}
+"""
+    )
+    with pytest.raises(InterpError):
+        run_module(module)

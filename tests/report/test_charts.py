@@ -1,0 +1,42 @@
+"""Terminal chart rendering tests."""
+
+from repro.report.charts import bar_chart, grouped_bar_chart
+
+
+def test_bar_chart_scales_to_max():
+    text = bar_chart([("a", 1.0), ("b", 2.0)], width=10, fmt="{:.1f}")
+    lines = text.splitlines()
+    assert "1.0" in lines[0] and "2.0" in lines[1]
+    # b's bar is full width, a's is half.
+    assert lines[1].count("█") == 10
+    assert 4 <= lines[0].count("█") <= 6
+
+
+def test_bar_chart_baseline():
+    text = bar_chart([("x", 1.0), ("y", 1.5)], baseline=1.0, width=8)
+    lines = text.splitlines()
+    assert lines[0].count("█") == 0  # at baseline: empty bar
+    assert lines[1].count("█") == 8
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], title="t") == "t"
+
+
+def test_grouped_bar_chart_structure():
+    text = grouped_bar_chart(
+        [("p1", [1.0, 1.2]), ("p2", [1.1, 1.4])],
+        series=["basic", "best"],
+        baseline=1.0,
+        width=8,
+    )
+    assert "p1" in text and "p2" in text
+    assert text.count("basic") == 2
+    assert text.count("best") == 2
+
+
+def test_negative_values_clamped():
+    text = bar_chart([("low", -1.0), ("high", 3.0)], width=6)
+    lines = text.splitlines()
+    assert lines[0].count("█") == 0
+    assert lines[1].count("█") == 6

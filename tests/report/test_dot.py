@@ -1,0 +1,96 @@
+"""Graphviz dump tests: output must be well-formed dot and contain the
+expected structure."""
+
+from repro.analysis.depgraph import build_dep_graph
+from repro.analysis.loops import LoopNest
+from repro.core.costgraph import CostGraph, build_cost_graph
+from repro.core.vcdep import VCDepGraph
+from repro.core.violation import find_violation_candidates
+from repro.ir import parse_module
+from repro.report.dot import cfg_to_dot, costgraph_to_dot, depgraph_to_dot, vcdep_to_dot
+from repro.ssa import build_ssa
+
+SOURCE = """\
+module t
+func f(n) {
+  local a[64]
+entry:
+  p = addr a
+  i = copy 0
+  s = copy 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  x = load p, i !a
+  s = add s, x
+  store p, i, s !a
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+
+def _prepared():
+    module = parse_module(SOURCE)
+    func = module.function("f")
+    build_ssa(func)
+    nest = LoopNest.build(func)
+    loop = nest.loops[0]
+    graph = build_dep_graph(module, func, loop)
+    return func, graph
+
+
+def _check_dot(text):
+    assert text.startswith("digraph")
+    assert text.rstrip().endswith("}")
+    assert text.count("{") == text.count("}")
+
+
+def test_cfg_dot():
+    func, _ = _prepared()
+    text = cfg_to_dot(func)
+    _check_dot(text)
+    for label in ("entry", "head", "body", "exit"):
+        assert label in text
+    assert '"head" -> "body"' in text
+
+
+def test_depgraph_dot_marks_cross_edges():
+    _, graph = _prepared()
+    text = depgraph_to_dot(graph)
+    _check_dot(text)
+    assert "style=dashed" in text  # cross-iteration edges
+    assert "color=red" in text
+
+
+def test_costgraph_dot_has_pseudo_nodes():
+    _, graph = _prepared()
+    candidates = find_violation_candidates(graph)
+    cg = build_cost_graph(graph, candidates)
+    text = costgraph_to_dot(cg)
+    _check_dot(text)
+    assert "shape=ellipse" in text  # pseudo nodes
+    assert "shape=box" in text
+
+
+def test_costgraph_dot_from_hand_built_graph():
+    cg = CostGraph()
+    cg.add_pseudo("D", 1.0)
+    cg.add_node("A", 1.0)
+    cg.add_edge_from_pseudo("D", "A", 0.2)
+    text = costgraph_to_dot(cg)
+    _check_dot(text)
+    assert "0.20" in text
+
+
+def test_vcdep_dot():
+    _, graph = _prepared()
+    candidates = find_violation_candidates(graph)
+    vcdep = VCDepGraph(graph, candidates)
+    text = vcdep_to_dot(vcdep)
+    _check_dot(text)
+    assert "v0" in text
