@@ -6,14 +6,20 @@ one-shot experiment reproductions.
 """
 
 import random
+import time
 
+from repro.analysis.cfg import CFG
 from repro.analysis.depgraph import build_dep_graph
 from repro.analysis.loops import LoopNest
-from repro.core.costgraph import CostGraph
+from repro.benchsuite import SUITE
+from repro.core import best_config, find_optimal_partition
+from repro.core.costgraph import CostGraph, build_cost_graph
 from repro.core.costmodel import misspeculation_cost
+from repro.core.transform import TransformError, check_transformable
+from repro.core.unroll import unroll_function
+from repro.core.violation import find_violation_candidates
 from repro.frontend import compile_minic
-from repro.ir import parse_module
-from repro.profiling import Machine
+from repro.profiling import CompiledMachine, EdgeProfile, Machine
 from repro.ssa import build_ssa, optimize
 
 SOURCE = """
@@ -51,6 +57,60 @@ def test_interpreter_throughput(benchmark):
     assert isinstance(result, int)
 
 
+def test_interpreter_throughput_fast(benchmark):
+    """Same workload on the block-compiled fast path."""
+    module = _module()
+
+    def run():
+        return CompiledMachine(module).run("main", [2000])
+
+    result = benchmark(run)
+    assert result == Machine(module).run("main", [2000])
+
+
+def _time_best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_interpreter_speedup():
+    """The tentpole acceptance bar: the compiled interpreter must be at
+    least 3x faster than the reference interpreter on the profiling
+    workload (measured ~4.2x without tracers)."""
+    module = _module()
+    n = 20_000
+    expected = Machine(module).run("main", [n])
+
+    machine_fast = CompiledMachine(module)
+    assert machine_fast.run("main", [n]) == expected  # warm + verify
+
+    slow = _time_best_of(lambda: Machine(module).run("main", [n]))
+    fast = _time_best_of(lambda: CompiledMachine(module).run("main", [n]))
+    speedup = slow / fast
+    print(f"\ninterpreter speedup (no tracers): {speedup:.2f}x")
+    assert speedup >= 3.0
+
+    slow_traced = _time_best_of(
+        lambda: _run_with_edge_profile(Machine, module, n)
+    )
+    fast_traced = _time_best_of(
+        lambda: _run_with_edge_profile(CompiledMachine, module, n)
+    )
+    traced_speedup = slow_traced / fast_traced
+    print(f"interpreter speedup (EdgeProfile): {traced_speedup:.2f}x")
+    assert traced_speedup >= 1.5
+
+
+def _run_with_edge_profile(cls, module, n):
+    machine = cls(module)
+    machine.add_tracer(EdgeProfile())
+    return machine.run("main", [n])
+
+
 def _random_cost_graph(n_vcs: int, n_ops: int, seed: int = 1234) -> CostGraph:
     rng = random.Random(seed)
     cg = CostGraph()
@@ -84,3 +144,79 @@ def test_depgraph_construction(benchmark):
 
     graph = benchmark(lambda: build_dep_graph(module, func, loop))
     assert graph.nodes
+
+
+def _benchsuite_cost_graphs():
+    """Yield (bench, func, candidates, cost_graph) for every
+    transformable benchsuite loop with a non-trivial candidate set."""
+    config = best_config()
+    for bench in SUITE:
+        module = compile_minic(bench.source, name=bench.name)
+        for func in module.functions.values():
+            unroll_function(func, config)
+        for func in module.functions.values():
+            build_ssa(func)
+            optimize(func)
+        edge = EdgeProfile()
+        machine = CompiledMachine(module)
+        machine.add_tracer(edge)
+        machine.run("main", [bench.train_n])
+        for func in module.functions.values():
+            nest = LoopNest.build(func)
+            cfg = CFG.build(func)
+            for loop in nest.loops:
+                try:
+                    check_transformable(func, loop, cfg)
+                except TransformError:
+                    continue
+                graph = build_dep_graph(module, func, loop, edge_profile=edge)
+                candidates = find_violation_candidates(graph)
+                if not candidates or len(candidates) > 30:
+                    continue
+                cg = build_cost_graph(graph, candidates)
+                yield bench, func, graph, candidates, cg
+
+
+def test_partition_search_node_visits():
+    """Tentpole acceptance: the incremental evaluator must visit at
+    least 5x fewer cost-graph nodes than full recomputation on
+    search-heavy benchsuite loops, with identical optimal partitions
+    everywhere. Fully deterministic (counts, not timings)."""
+    config = best_config()
+    total_full = total_incr = 0
+    heavy_full = heavy_incr = 0
+    loops = 0
+    for bench, func, graph, candidates, cg in _benchsuite_cost_graphs():
+        full = find_optimal_partition(
+            graph,
+            config.with_overrides(incremental_cost=False),
+            candidates=candidates,
+            cost_graph=cg,
+        )
+        incr = find_optimal_partition(
+            graph,
+            config.with_overrides(incremental_cost=True),
+            candidates=candidates,
+            cost_graph=cg,
+        )
+        # Identical decisions: bitwise-equal cost, same prefork set.
+        assert incr.cost == full.cost, (bench.name, func.name)
+        assert [id(vc.instr) for vc in incr.prefork_vcs] == [
+            id(vc.instr) for vc in full.prefork_vcs
+        ]
+        loops += 1
+        total_full += full.cost_node_visits
+        total_incr += incr.cost_node_visits
+        if full.evaluations >= 10:
+            heavy_full += full.cost_node_visits
+            heavy_incr += incr.cost_node_visits
+    assert loops >= 10  # the suite exercises a real population of loops
+    total_ratio = total_full / max(total_incr, 1)
+    heavy_ratio = heavy_full / max(heavy_incr, 1)
+    print(
+        f"\ncost-graph node visits: full={total_full} incremental={total_incr}"
+        f" ({total_ratio:.2f}x overall, {heavy_ratio:.2f}x on"
+        f" search-heavy loops)"
+    )
+    assert total_ratio >= 2.0
+    assert heavy_ratio >= 5.0

@@ -60,6 +60,18 @@ def _parse_args_list(raw: Optional[str]) -> List[int]:
     return [int(part) for part in raw.split(",") if part.strip()]
 
 
+def _config_from_args(args: argparse.Namespace) -> SptConfig:
+    """Build the SptConfig for a compile-like command, applying the
+    fast-path opt-out flags on top of the named preset."""
+    config = CONFIG_FACTORIES[args.config]()
+    overrides = {}
+    if getattr(args, "no_fast_interp", False):
+        overrides["fast_interp"] = False
+    if getattr(args, "no_incremental_cost", False):
+        overrides["incremental_cost"] = False
+    return config.with_overrides(**overrides) if overrides else config
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     module = load_module(args.source)
     machine = Machine(module, fuel=args.fuel)
@@ -91,7 +103,7 @@ def cmd_dump_ir(args: argparse.Namespace) -> int:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     module = load_module(args.source)
-    config = CONFIG_FACTORIES[args.config]()
+    config = _config_from_args(args)
     workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
     result = compile_spt(module, config, workload)
 
@@ -125,7 +137,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     module = load_module(args.source)
-    config = CONFIG_FACTORIES[args.config]()
+    config = _config_from_args(args)
     train = _parse_args_list(args.train_args or args.args)
     workload = Workload(entry=args.entry, args=tuple(train))
     result = compile_spt(module, config, workload)
@@ -224,7 +236,7 @@ def cmd_summary(args: argparse.Namespace) -> int:
     import json
 
     module = load_module(args.source)
-    config = CONFIG_FACTORIES[args.config]()
+    config = _config_from_args(args)
     workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
     result = compile_spt(module, config, workload)
     print(json.dumps(result.to_dict(), indent=2))
@@ -287,11 +299,21 @@ def build_parser() -> argparse.ArgumentParser:
     dump_p.add_argument("--optimize", action="store_true", help="run cleanup passes")
     dump_p.set_defaults(fn=cmd_dump_ir)
 
+    def add_config_options(p):
+        p.add_argument("--config", choices=sorted(CONFIG_FACTORIES), default="best")
+        p.add_argument(
+            "--no-fast-interp", action="store_true",
+            help="profile with the reference interpreter instead of the "
+                 "block-compiled fast path",
+        )
+        p.add_argument(
+            "--no-incremental-cost", action="store_true",
+            help="use full-recompute cost evaluation in the partition search",
+        )
+
     compile_p = sub.add_parser("compile", help="two-pass SPT compilation")
     add_source(compile_p)
-    compile_p.add_argument(
-        "--config", choices=sorted(CONFIG_FACTORIES), default="best"
-    )
+    add_config_options(compile_p)
     compile_p.add_argument(
         "--emit-ir", action="store_true", help="print the transformed IR"
     )
@@ -299,7 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim_p = sub.add_parser("simulate", help="compile and run the SPT machine model")
     add_source(sim_p)
-    sim_p.add_argument("--config", choices=sorted(CONFIG_FACTORIES), default="best")
+    add_config_options(sim_p)
     sim_p.add_argument("--train-args", default=None,
                        help="profiling args (defaults to --args)")
     sim_p.set_defaults(fn=cmd_simulate)
@@ -323,9 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="compile and print a JSON compilation summary"
     )
     add_source(summary_p)
-    summary_p.add_argument(
-        "--config", choices=sorted(CONFIG_FACTORIES), default="best"
-    )
+    add_config_options(summary_p)
     summary_p.set_defaults(fn=cmd_summary)
 
     return parser

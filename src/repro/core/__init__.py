@@ -11,6 +11,8 @@ from repro.core.config import (
 from repro.core.costgraph import CostGraph, PseudoNode, build_cost_graph
 from repro.core.costmodel import (
     CostEvaluator,
+    IncrementalCostEvaluator,
+    make_cost_evaluator,
     misspeculation_cost,
     reexecution_probabilities,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "ALL_CATEGORIES",
     "CompilationResult",
     "CostEvaluator",
+    "IncrementalCostEvaluator",
+    "make_cost_evaluator",
     "CostGraph",
     "LoopCandidate",
     "PartitionResult",

@@ -83,6 +83,20 @@ class SptConfig:
     #: buffers (part of the anticipated compilation).
     enable_privatization: bool = False
 
+    # -- framework fast paths (infrastructure, not paper semantics) ----------
+    #: Profile workloads on the block-compiled interpreter
+    #: (repro.profiling.compiled).  The reference interpreter stays
+    #: available as the oracle for differential testing.
+    fast_interp: bool = True
+    #: Evaluate misspeculation costs incrementally during the partition
+    #: search: only cost-graph nodes downstream of the pseudo nodes that
+    #: changed are re-propagated.  ``False`` selects the full-recompute
+    #: reference evaluator.
+    incremental_cost: bool = True
+    #: LRU bound on memoized cost evaluations / incremental states per
+    #: partition search.
+    cost_cache_size: int = 4096
+
     # -- machine overheads (used by selection gain estimates) ---------------
     fork_overhead_cycles: float = 6.0
     commit_overhead_cycles: float = 5.0
@@ -109,6 +123,8 @@ class SptConfig:
             raise ValueError("svp_min_hit_rate must be in [0, 1]")
         if self.cycles_per_op <= 0:
             raise ValueError("cycles_per_op must be positive")
+        if self.cost_cache_size < 1:
+            raise ValueError("cost_cache_size must be positive")
 
     def with_overrides(self, **kwargs) -> "SptConfig":
         """A copy with selected fields replaced."""

@@ -21,7 +21,7 @@ from typing import List, Optional, Set
 from repro.analysis.depgraph import LoopDepGraph
 from repro.core.config import SptConfig
 from repro.core.costgraph import CostGraph, build_cost_graph
-from repro.core.costmodel import CostEvaluator
+from repro.core.costmodel import CostEvaluator, make_cost_evaluator
 from repro.core.vcdep import VCDepGraph
 from repro.core.violation import ViolationCandidate, find_violation_candidates
 from repro.ir.instr import Instr
@@ -41,6 +41,9 @@ class PartitionResult:
         body_size: float,
         search_nodes: int,
         skipped_too_many_vcs: bool = False,
+        evaluations: int = 0,
+        cache_hits: int = 0,
+        cost_node_visits: int = 0,
     ):
         self.loop = loop
         self.candidates = candidates
@@ -57,11 +60,38 @@ class PartitionResult:
         self.search_nodes = search_nodes
         #: True when the loop had too many VCs and was skipped (§5.2).
         self.skipped_too_many_vcs = skipped_too_many_vcs
+        #: Cost evaluations performed (evaluator cache misses).
+        self.evaluations = evaluations
+        #: Cost evaluations answered from the evaluator cache.
+        self.cache_hits = cache_hits
+        #: Cost-graph nodes visited by probability propagation.
+        self.cost_node_visits = cost_node_visits
 
     @property
     def cost_ratio(self) -> float:
         """Misspeculation cost relative to loop body size."""
         return self.cost / self.body_size if self.body_size else float("inf")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        requests = self.evaluations + self.cache_hits
+        return self.cache_hits / requests if requests else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of the search outcome."""
+        return {
+            "cost": round(self.cost, 6) if self.cost != float("inf") else None,
+            "prefork_vcs": len(self.prefork_vcs),
+            "violation_candidates": len(self.candidates),
+            "prefork_size": round(self.prefork_size, 2),
+            "body_size": round(self.body_size, 2),
+            "search_nodes": self.search_nodes,
+            "skipped_too_many_vcs": self.skipped_too_many_vcs,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "cost_node_visits": self.cost_node_visits,
+        }
 
     def __repr__(self) -> str:
         return (
@@ -106,7 +136,7 @@ def find_optimal_partition(
 
     if cost_graph is None:
         cost_graph = build_cost_graph(graph, candidates)
-    evaluator = CostEvaluator(cost_graph)
+    evaluator = make_cost_evaluator(cost_graph, config)
 
     # Candidates already in the header block execute before the fork by
     # construction (the fork sits after the header); they are pre-fork
@@ -172,6 +202,9 @@ def find_optimal_partition(
         prefork_size=vcdep.partition_size(best_set),
         body_size=body_size,
         search_nodes=search_nodes,
+        evaluations=evaluator.evaluations,
+        cache_hits=evaluator.cache_hits,
+        cost_node_visits=evaluator.node_visits,
     )
 
 
@@ -226,4 +259,7 @@ def brute_force_partition(
         prefork_size=vcdep.partition_size(best_set),
         body_size=body_size,
         search_nodes=explored,
+        evaluations=evaluator.evaluations,
+        cache_hits=evaluator.cache_hits,
+        cost_node_visits=evaluator.node_visits,
     )

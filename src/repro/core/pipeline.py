@@ -44,6 +44,7 @@ from repro.core.transform import (
 from repro.core.unroll import UnrollReport, unroll_function
 from repro.core.violation import find_violation_candidates
 from repro.ir.function import Module
+from repro.profiling.compiled import make_machine
 from repro.profiling.dep_profile import DependenceProfile
 from repro.profiling.edge_profile import EdgeProfile
 from repro.profiling.interp import Machine
@@ -107,6 +108,11 @@ class CompilationResult:
                 entry["prefork_size"] = round(c.partition.prefork_size, 2)
                 entry["violation_candidates"] = len(c.partition.candidates)
                 entry["search_nodes"] = c.partition.search_nodes
+                entry["cost_evaluations"] = c.partition.evaluations
+                entry["cost_cache_hit_rate"] = round(
+                    c.partition.cache_hit_rate, 4
+                )
+                entry["cost_node_visits"] = c.partition.cost_node_visits
             candidates.append(entry)
         return {
             "candidates": candidates,
@@ -136,8 +142,10 @@ class CompilationResult:
         )
 
 
-def _profile(module: Module, workload: Workload, tracers) -> None:
-    machine = Machine(module, fuel=workload.fuel)
+def _profile(
+    module: Module, workload: Workload, tracers, fast: bool = True
+) -> None:
+    machine = make_machine(module, fuel=workload.fuel, fast=fast)
     for name, fn in workload.intrinsics.items():
         machine.register_intrinsic(name, fn)
     for tracer in tracers:
@@ -224,7 +232,7 @@ def compile_spt(
     if config.enable_dep_profiling:
         dep_profile = DependenceProfile(module)
         tracers.append(dep_profile)
-    _profile(module, workload, tracers)
+    _profile(module, workload, tracers, fast=config.fast_interp)
     result.edge_profile = edge_profile
     result.dep_profile = dep_profile
 
@@ -336,7 +344,7 @@ def _svp_round(
         return candidates, graphs
 
     value_profile = ValueProfile([vc.instr for _, vc in svp_targets])
-    _profile(module, workload, [value_profile])
+    _profile(module, workload, [value_profile], fast=config.fast_interp)
 
     changed_funcs = set()
     for candidate, vc in svp_targets:

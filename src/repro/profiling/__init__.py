@@ -1,5 +1,6 @@
 """Interpreter and interpreter-driven profilers (edge, dependence, value)."""
 
+from repro.profiling.compiled import CompiledMachine, make_machine
 from repro.profiling.dep_profile import DependenceProfile, LoopDepView
 from repro.profiling.edge_profile import EdgeProfile
 from repro.profiling.interp import (
@@ -12,6 +13,7 @@ from repro.profiling.interp import (
 from repro.profiling.value_profile import ValuePattern, ValueProfile
 
 __all__ = [
+    "CompiledMachine",
     "DependenceProfile",
     "EdgeProfile",
     "FuelExhausted",
@@ -21,5 +23,6 @@ __all__ = [
     "Tracer",
     "ValuePattern",
     "ValueProfile",
+    "make_machine",
     "run_module",
 ]

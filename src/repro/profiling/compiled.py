@@ -1,0 +1,678 @@
+"""Block-compiled interpreter fast path.
+
+:class:`~repro.profiling.interp.Machine` dispatches every dynamic
+instruction through an ``isinstance`` chain and evaluates operands
+through :meth:`Machine._eval`, paying the full interpretive overhead
+50 million times per profiling run.  :class:`CompiledMachine` removes
+that overhead by pre-compiling each basic block *once*, on first
+execution, into a flat list of specialized closures:
+
+* **operand accessors are resolved at compile time** -- constants are
+  captured as Python values, variables become single dict lookups, and
+  ``LoadAddr`` folds the symbol table lookup into a constant;
+* **opcode dispatch is hoisted** -- the ``_BINOPS`` table lookup happens
+  at block-compile time, so executing an ``add`` is one closure call;
+* **phi batches are precomputed per predecessor label** -- entering a
+  block through label ``L`` applies a prepared (dest, accessor) list
+  with the parallel-assignment semantics of the reference interpreter;
+* **tracer-aware specialization** -- at ``run()`` time the machine
+  inspects which :class:`Tracer` hooks each attached tracer actually
+  overrides and emits hook calls only for those, so the common
+  zero-tracer (and edge-profile-only) case pays nothing for the
+  observer interface;
+* **batched fuel accounting** -- fuel is charged once per block with a
+  single comparison instead of once per instruction.
+
+Semantics match the reference interpreter exactly on well-formed
+programs: return values, memory state, ``Machine.executed`` counts and
+tracer event streams are all identical (the differential tests in
+``tests/profiling/test_compiled.py`` assert this over the whole
+benchmark suite).  The only tolerated divergence is *which* error
+surfaces first on already-broken programs: batched fuel may exhaust at
+block entry where the reference interpreter would first hit, say, a
+division by zero mid-block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.block import Block
+from repro.ir.function import Function, Module
+from repro.ir.instr import (
+    BinOp,
+    Branch,
+    Call,
+    Copy,
+    Instr,
+    Jump,
+    Load,
+    LoadAddr,
+    Phi,
+    Return,
+    SptFork,
+    SptKill,
+    Store,
+    UnOp,
+)
+from repro.ir.values import Const, Value, Var
+from repro.profiling.interp import (
+    _BINOPS,
+    _UNOPS,
+    _div,
+    _mod,
+    FuelExhausted,
+    InterpError,
+    Machine,
+    Tracer,
+)
+
+#: Sentinel returned by terminator closures on function return.
+_RETURN = object()
+
+#: Tracer hook names that affect compiled code generation.
+_HOOK_NAMES = (
+    "on_enter_function",
+    "on_exit_function",
+    "on_block",
+    "on_edge",
+    "on_instr",
+    "on_def",
+    "on_load",
+    "on_store",
+    "on_call",
+)
+
+
+class _Hooks:
+    """Tracers bucketed by the hooks they actually override.
+
+    A tracer subscribes to a hook iff its class overrides the base
+    :class:`Tracer` method; un-overridden no-op hooks are elided from
+    the compiled code entirely.
+    """
+
+    __slots__ = _HOOK_NAMES + ("signature",)
+
+    def __init__(self, tracers):
+        signature = []
+        for name in _HOOK_NAMES:
+            base = getattr(Tracer, name)
+            subscribed = tuple(
+                t for t in tracers if getattr(type(t), name, base) is not base
+            )
+            setattr(self, name, subscribed)
+            signature.append(tuple(id(t) for t in subscribed))
+        self.signature = tuple(signature)
+
+    @property
+    def per_instr(self) -> bool:
+        """Whether any per-instruction hook is live."""
+        return bool(self.on_instr or self.on_def)
+
+
+class _CompiledBlock:
+    """One basic block lowered to closures."""
+
+    __slots__ = ("block", "fuel", "ops", "term", "phis", "phi_batches", "hooked_phis")
+
+    def __init__(self, block: Block):
+        self.block = block
+        #: Fuel charged on entry: the instructions the reference
+        #: interpreter would execute in this block.
+        self.fuel = 0
+        #: Straight-line (non-phi, non-terminator) closures.
+        self.ops: Tuple[Callable, ...] = ()
+        #: Terminator closure: env -> next label | _RETURN (or raises).
+        self.term: Callable = None
+        #: The phi prefix (for diagnostics), or ().
+        self.phis: Tuple[Phi, ...] = ()
+        #: prev label -> precomputed batch, or None when the block has
+        #: no phis.  Batch entries are (dest_name, accessor) pairs, or
+        #: (phi, dest_name, accessor) triples when per-instruction
+        #: hooks are live.
+        self.phi_batches: Optional[Dict[str, tuple]] = None
+        self.hooked_phis = False
+
+
+class _CompiledFunction:
+    """Lazily block-compiled code for one function on one machine."""
+
+    def __init__(self, machine: "CompiledMachine", func: Function, hooks: _Hooks):
+        self.machine = machine
+        self.func = func
+        self.hooks = hooks
+        self.block_map = func.block_map()
+        self.blocks: Dict[str, _CompiledBlock] = {}
+
+    # -- operand accessors -------------------------------------------
+
+    def _accessor(self, value: Value) -> Callable:
+        if isinstance(value, Const):
+            const = value.value
+            return lambda env: const
+        if isinstance(value, Var):
+            name = value.name
+            func_name = self.func.name
+
+            def get(env):
+                try:
+                    return env[name]
+                except KeyError:
+                    raise InterpError(
+                        f"use of undefined variable {name} in {func_name}"
+                    ) from None
+
+            return get
+        raise InterpError(f"cannot evaluate {value!r}")
+
+    # -- per-instruction cores ---------------------------------------
+    #
+    # A core executes one instruction against an environment and
+    # returns the defined value (or None for pure effects); hook
+    # wrapping happens in :meth:`_wrap`.
+
+    def _binop_core(self, instr: BinOp) -> Callable:
+        dest = instr.dest.name
+        if instr.op == "div":
+            fn = _div
+        elif instr.op == "mod":
+            fn = _mod
+        else:
+            fn = _BINOPS[instr.op]
+        lhs, rhs = instr.lhs, instr.rhs
+        func_name = self.func.name
+        # The Var/Var and Var/Const shapes dominate hot loops; inline
+        # the environment lookups so one closure call executes the op.
+        if isinstance(lhs, Var) and isinstance(rhs, Var):
+            n1, n2 = lhs.name, rhs.name
+
+            def core(env):
+                try:
+                    value = fn(env[n1], env[n2])
+                except KeyError as exc:
+                    raise InterpError(
+                        f"use of undefined variable {exc.args[0]} in {func_name}"
+                    ) from None
+                env[dest] = value
+                return value
+
+            return core
+        if isinstance(lhs, Var) and isinstance(rhs, Const):
+            n1, c2 = lhs.name, rhs.value
+
+            def core(env):
+                try:
+                    value = fn(env[n1], c2)
+                except KeyError:
+                    raise InterpError(
+                        f"use of undefined variable {n1} in {func_name}"
+                    ) from None
+                env[dest] = value
+                return value
+
+            return core
+        get_lhs = self._accessor(lhs)
+        get_rhs = self._accessor(rhs)
+
+        def core(env):
+            value = fn(get_lhs(env), get_rhs(env))
+            env[dest] = value
+            return value
+
+        return core
+
+    def _unop_core(self, instr: UnOp) -> Callable:
+        dest = instr.dest.name
+        fn = _UNOPS[instr.op]
+        get_src = self._accessor(instr.src)
+
+        def core(env):
+            value = fn(get_src(env))
+            env[dest] = value
+            return value
+
+        return core
+
+    def _copy_core(self, instr: Copy) -> Callable:
+        dest = instr.dest.name
+        get_src = self._accessor(instr.src)
+
+        def core(env):
+            value = get_src(env)
+            env[dest] = value
+            return value
+
+        return core
+
+    def _loadaddr_core(self, instr: LoadAddr) -> Callable:
+        # The symbol table is fixed at machine construction; fold the
+        # lookup into a constant.
+        base = self.machine.symbol_base(self.func, instr.sym)
+        dest = instr.dest.name
+
+        def core(env):
+            env[dest] = base
+            return base
+
+        return core
+
+    def _load_core(self, instr: Load) -> Callable:
+        dest = instr.dest.name
+        get_base = self._accessor(instr.base)
+        get_off = self._accessor(instr.offset)
+        machine = self.machine
+        on_load = self.hooks.on_load
+        if on_load:
+
+            def core(env):
+                addr = int(get_base(env)) + int(get_off(env))
+                value = machine.read_mem(addr)
+                for t in on_load:
+                    t.on_load(instr, addr, value)
+                env[dest] = value
+                return value
+
+            return core
+
+        def core(env):
+            addr = int(get_base(env)) + int(get_off(env))
+            mem = machine.memory
+            if 0 <= addr < len(mem):
+                value = mem[addr]
+            else:
+                raise InterpError(f"load from invalid address {addr}")
+            env[dest] = value
+            return value
+
+        return core
+
+    def _store_core(self, instr: Store) -> Callable:
+        get_base = self._accessor(instr.base)
+        get_off = self._accessor(instr.offset)
+        get_value = self._accessor(instr.value)
+        machine = self.machine
+        on_store = self.hooks.on_store
+        if on_store:
+
+            def core(env):
+                addr = int(get_base(env)) + int(get_off(env))
+                value = get_value(env)
+                old = machine.read_mem(addr)
+                machine.write_mem(addr, value)
+                for t in on_store:
+                    t.on_store(instr, addr, value, old)
+                return None
+
+            return core
+
+        def core(env):
+            addr = int(get_base(env)) + int(get_off(env))
+            value = get_value(env)
+            mem = machine.memory
+            if 0 <= addr < len(mem):
+                mem[addr] = value
+            else:
+                raise InterpError(f"store to invalid address {addr}")
+            return None
+
+        return core
+
+    def _call_core(self, instr: Call) -> Callable:
+        machine = self.machine
+        arg_accessors = tuple(self._accessor(a) for a in instr.args)
+        on_call = self.hooks.on_call
+        callee = instr.callee
+        dest = instr.dest.name if instr.dest is not None else None
+
+        # Resolve the callee at compile time (functions and intrinsics
+        # are both registered before execution starts).
+        if callee in machine.module.functions:
+            target = machine.module.functions[callee]
+
+            def invoke(args):
+                return machine._call_function(target, args)
+
+        elif callee in machine.intrinsics:
+            intrinsic = machine.intrinsics[callee]
+
+            def invoke(args):
+                return intrinsic(machine, *args)
+
+        else:
+
+            def invoke(args):
+                raise InterpError(f"call to unknown function {callee!r}")
+
+        def core(env):
+            args = [get(env) for get in arg_accessors]
+            for t in on_call:
+                t.on_call(instr, args)
+            value = invoke(args)
+            if dest is not None:
+                env[dest] = value
+            return value
+
+        return core
+
+    def _raise_core(self, instr: Instr) -> Callable:
+        def core(env):
+            raise InterpError(f"cannot execute {instr!r}")
+
+        return core
+
+    # -- terminators ---------------------------------------------------
+
+    def _compile_term(self, block: Block, instr: Optional[Instr]) -> Callable:
+        if instr is None:
+            label = block.label
+
+            def term(env):
+                raise InterpError(f"block {label} fell off the end")
+
+        elif isinstance(instr, Jump):
+            target = instr.target
+
+            def term(env):
+                return target
+
+        elif isinstance(instr, Branch):
+            get_cond = self._accessor(instr.cond)
+            iftrue, iffalse = instr.iftrue, instr.iffalse
+
+            def term(env):
+                return iftrue if get_cond(env) else iffalse
+
+        elif isinstance(instr, Return):
+            if instr.value is None:
+
+                def term(env):
+                    env["$ret"] = None
+                    return _RETURN
+
+            else:
+                get_value = self._accessor(instr.value)
+
+                def term(env):
+                    env["$ret"] = get_value(env)
+                    return _RETURN
+
+        else:
+            raise InterpError(f"cannot execute {instr!r}")
+
+        on_instr = self.hooks.on_instr
+        if on_instr and instr is not None:
+            func = self.func
+            inner = term
+
+            def term(env):
+                for t in on_instr:
+                    t.on_instr(func, block, instr)
+                return inner(env)
+
+        return term
+
+    # -- hook wrapping -------------------------------------------------
+
+    def _wrap(self, core: Callable, block: Block, instr: Instr) -> Callable:
+        """Apply the ``on_instr``/``on_def`` hooks around ``core``."""
+        on_instr = self.hooks.on_instr
+        on_def = self.hooks.on_def if instr.dest is not None else ()
+        if not on_instr and not on_def:
+            return core
+        func = self.func
+        if on_instr and on_def:
+
+            def op(env):
+                for t in on_instr:
+                    t.on_instr(func, block, instr)
+                value = core(env)
+                for t in on_def:
+                    t.on_def(instr, value)
+                return value
+
+        elif on_instr:
+
+            def op(env):
+                for t in on_instr:
+                    t.on_instr(func, block, instr)
+                return core(env)
+
+        else:
+
+            def op(env):
+                value = core(env)
+                for t in on_def:
+                    t.on_def(instr, value)
+                return value
+
+        return op
+
+    # -- block compilation ----------------------------------------------
+
+    _CORES = {
+        BinOp: "_binop_core",
+        UnOp: "_unop_core",
+        Copy: "_copy_core",
+        LoadAddr: "_loadaddr_core",
+        Load: "_load_core",
+        Store: "_store_core",
+        Call: "_call_core",
+    }
+
+    def compile_block(self, label: str) -> _CompiledBlock:
+        block = self.block_map[label]
+        cb = _CompiledBlock(block)
+
+        # Split the phi prefix from the straight-line body; stop at the
+        # first terminator (the reference interpreter never executes
+        # past it, and neither does the fuel accounting).
+        instrs = block.instrs
+        index = 0
+        phis: List[Phi] = []
+        while index < len(instrs) and isinstance(instrs[index], Phi):
+            phis.append(instrs[index])
+            index += 1
+
+        body: List[Instr] = []
+        terminator: Optional[Instr] = None
+        executed = len(phis)
+        for instr in instrs[index:]:
+            executed += 1
+            if instr.is_terminator:
+                terminator = instr
+                break
+            body.append(instr)
+        cb.fuel = executed
+        cb.phis = tuple(phis)
+
+        if phis:
+            cb.hooked_phis = self.hooks.per_instr
+            batches: Dict[str, tuple] = {}
+            labels = set()
+            for phi in phis:
+                labels.update(phi.incomings)
+            for prev in labels:
+                if not all(prev in phi.incomings for phi in phis):
+                    continue  # executor raises the per-phi error lazily
+                if cb.hooked_phis:
+                    batches[prev] = tuple(
+                        (phi, phi.dest.name, self._accessor(phi.incomings[prev]))
+                        for phi in phis
+                    )
+                else:
+                    batches[prev] = tuple(
+                        (phi.dest.name, self._accessor(phi.incomings[prev]))
+                        for phi in phis
+                    )
+            cb.phi_batches = batches
+
+        ops: List[Callable] = []
+        for instr in body:
+            maker = self._CORES.get(type(instr))
+            if maker is not None:
+                core = getattr(self, maker)(instr)
+            elif isinstance(instr, (SptFork, SptKill)):
+                # Sequential no-ops: they only exist for on_instr hooks.
+                if not self.hooks.on_instr:
+                    continue
+                core = None
+            elif isinstance(instr, Phi):
+                core = self._raise_core(instr)  # phi after the prefix
+            else:
+                core = self._raise_core(instr)
+            if core is None:
+                on_instr = self.hooks.on_instr
+                func = self.func
+                bound = instr
+
+                def core(env, _f=func, _b=block, _i=bound, _h=on_instr):
+                    for t in _h:
+                        t.on_instr(_f, _b, _i)
+
+                ops.append(core)
+                continue
+            ops.append(self._wrap(core, block, instr))
+        cb.ops = tuple(ops)
+        cb.term = self._compile_term(block, terminator)
+        return cb
+
+    # -- phi execution helpers ------------------------------------------
+
+    def _phi_error(self, cb: _CompiledBlock, prev_label: str):
+        for phi in cb.phis:
+            if prev_label not in phi.incomings:
+                raise InterpError(
+                    f"phi {phi.dest} has no incoming for {prev_label}"
+                )
+        raise InterpError(
+            f"no phi batch for predecessor {prev_label} in {cb.block.label}"
+        )
+
+    def _run_hooked_phis(self, batch, env, func, block) -> None:
+        on_instr = self.hooks.on_instr
+        on_def = self.hooks.on_def
+        updates = []
+        for phi, dest, get in batch:
+            for t in on_instr:
+                t.on_instr(func, block, phi)
+            value = get(env)
+            updates.append((dest, value))
+            for t in on_def:
+                t.on_def(phi, value)
+        for dest, value in updates:
+            env[dest] = value
+
+    # -- the interpreter loop -------------------------------------------
+
+    def call(self, args: List):
+        func = self.func
+        machine = self.machine
+        hooks = self.hooks
+        if len(args) != len(func.params):
+            raise InterpError(
+                f"{func.name} expects {len(func.params)} args, got {len(args)}"
+            )
+        env: Dict[str, object] = {}
+        for param, arg in zip(func.params, args):
+            env[param.name] = arg
+        for t in hooks.on_enter_function:
+            t.on_enter_function(func, args)
+
+        blocks = self.blocks
+        on_block = hooks.on_block
+        on_edge = hooks.on_edge
+        fuel = machine.fuel
+        label = func.entry.label
+        prev_label: Optional[str] = None
+
+        while True:
+            cb = blocks.get(label)
+            if cb is None:
+                cb = self.compile_block(label)
+                blocks[label] = cb
+
+            machine.executed += cb.fuel
+            if machine.executed > fuel:
+                raise FuelExhausted(f"exceeded {fuel} dynamic instructions")
+
+            if on_block:
+                for t in on_block:
+                    t.on_block(func, cb.block, prev_label)
+
+            batches = cb.phi_batches
+            if batches is not None:
+                if prev_label is None:
+                    raise InterpError(f"phi in entry block {label}")
+                batch = batches.get(prev_label)
+                if batch is None:
+                    self._phi_error(cb, prev_label)
+                if cb.hooked_phis:
+                    self._run_hooked_phis(batch, env, func, cb.block)
+                elif len(batch) == 1:
+                    dest, get = batch[0]
+                    env[dest] = get(env)
+                else:
+                    updates = [(dest, get(env)) for dest, get in batch]
+                    for dest, value in updates:
+                        env[dest] = value
+
+            for op in cb.ops:
+                op(env)
+            nxt = cb.term(env)
+
+            if nxt is _RETURN:
+                result = env.get("$ret")
+                break
+            if nxt not in self.block_map:
+                raise KeyError(f"no block {nxt!r} in function {func.name}")
+            if on_edge:
+                for t in on_edge:
+                    t.on_edge(func, label, nxt)
+            prev_label = label
+            label = nxt
+
+        for t in hooks.on_exit_function:
+            t.on_exit_function(func, result)
+        return result
+
+
+class CompiledMachine(Machine):
+    """A :class:`Machine` that executes through the compiled fast path.
+
+    Drop-in compatible: same constructor, same ``run``/``add_tracer``/
+    ``register_intrinsic`` API, same memory and symbol layout (both are
+    inherited untouched).  Blocks are compiled lazily on first
+    execution and the compiled code is discarded whenever ``run`` is
+    invoked, so modules mutated between runs are always re-lowered.
+    """
+
+    def __init__(self, module: Module, fuel: int = 50_000_000):
+        super().__init__(module, fuel=fuel)
+        self._hooks: Optional[_Hooks] = None
+        self._code: Dict[str, _CompiledFunction] = {}
+
+    def run(self, func_name: str, args: List = ()) -> object:
+        # Specialize for the tracers attached *now*; invalidate any
+        # code compiled for a previous run (or a mutated module).
+        self._hooks = _Hooks(self.tracers)
+        self._code = {}
+        return super().run(func_name, args)
+
+    def _call_function(self, func: Function, args: List):
+        if self._hooks is None:
+            self._hooks = _Hooks(self.tracers)
+        code = self._code.get(func.name)
+        if code is None:
+            code = _CompiledFunction(self, func, self._hooks)
+            self._code[func.name] = code
+        return code.call(args)
+
+
+def make_machine(
+    module: Module, fuel: int = 50_000_000, fast: bool = True
+) -> Machine:
+    """Build the fast machine, or the reference one with ``fast=False``."""
+    if fast:
+        return CompiledMachine(module, fuel=fuel)
+    return Machine(module, fuel=fuel)

@@ -408,9 +408,20 @@ def run_module(
     tracers: List[Tracer] = (),
     fuel: int = 50_000_000,
     intrinsics: Dict[str, Callable] = None,
+    fast: bool = False,
 ):
-    """Convenience wrapper: build a machine, run, return (result, machine)."""
-    machine = Machine(module, fuel=fuel)
+    """Convenience wrapper: build a machine, run, return (result, machine).
+
+    ``fast=True`` selects the block-compiled fast path
+    (:class:`repro.profiling.compiled.CompiledMachine`); the default is
+    the reference interpreter.
+    """
+    if fast:
+        from repro.profiling.compiled import CompiledMachine
+
+        machine: Machine = CompiledMachine(module, fuel=fuel)
+    else:
+        machine = Machine(module, fuel=fuel)
     for name, fn in (intrinsics or {}).items():
         machine.register_intrinsic(name, fn)
     for tracer in tracers:

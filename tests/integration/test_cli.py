@@ -130,3 +130,34 @@ def test_summary_subcommand_emits_json(minic_file, capsys):
     assert "candidates" in payload
     assert "categories" in payload
     assert isinstance(payload["selected"], list)
+
+
+def test_fast_path_opt_out_flags(minic_file, capsys):
+    """--no-fast-interp/--no-incremental-cost select the reference
+    implementations but do not change any compilation decision."""
+    import json
+
+    assert main(["summary", minic_file, "--args", "100"]) == 0
+    fast = json.loads(capsys.readouterr().out)
+    assert main(
+        [
+            "summary", minic_file, "--args", "100",
+            "--no-fast-interp", "--no-incremental-cost",
+        ]
+    ) == 0
+    slow = json.loads(capsys.readouterr().out)
+
+    def strip(report):
+        for cand in report["candidates"]:
+            for key in (
+                "cost_evaluations", "cost_cache_hit_rate", "cost_node_visits"
+            ):
+                cand.pop(key, None)
+        return report
+
+    assert strip(fast) == strip(slow)
+
+
+def test_compile_accepts_opt_out_flags(minic_file, capsys):
+    assert main(["compile", minic_file, "--args", "64", "--no-fast-interp"]) == 0
+    assert "loop candidates" in capsys.readouterr().out

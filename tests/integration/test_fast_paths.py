@@ -1,0 +1,55 @@
+"""End-to-end checks that the two fast paths (block-compiled
+interpreter, incremental cost evaluation) are pure optimizations: the
+full SPT compilation pipeline produces the same decisions and the same
+report with either implementation selected."""
+
+import pytest
+
+from repro.benchsuite import SUITE
+from repro.core import Workload, best_config, compile_spt
+from repro.frontend import compile_minic
+
+
+def _strip_stats(report):
+    """Drop fields that legitimately differ between evaluator
+    implementations (work counters), keep every decision field."""
+    report = dict(report)
+    for cand in report.get("candidates", ()):
+        for key in ("cost_evaluations", "cost_cache_hit_rate", "cost_node_visits"):
+            cand.pop(key, None)
+    return report
+
+
+@pytest.mark.parametrize("bench", SUITE[:4], ids=lambda b: b.name)
+def test_fast_and_slow_paths_agree(bench):
+    base = best_config()
+    reports = []
+    for fast_interp, incremental in ((True, True), (False, False)):
+        module = compile_minic(bench.source, name=bench.name)
+        config = base.with_overrides(
+            fast_interp=fast_interp, incremental_cost=incremental
+        )
+        result = compile_spt(module, config, Workload(args=(bench.train_n,)))
+        reports.append(_strip_stats(result.to_dict()))
+    assert reports[0] == reports[1]
+
+
+def test_flag_combinations_smoke():
+    bench = SUITE[0]
+    base = best_config()
+    costs = set()
+    for fast_interp in (True, False):
+        for incremental in (True, False):
+            module = compile_minic(bench.source, name=bench.name)
+            config = base.with_overrides(
+                fast_interp=fast_interp, incremental_cost=incremental
+            )
+            result = compile_spt(module, config, Workload(args=(bench.train_n,)))
+            costs.add(
+                tuple(
+                    (cand["function"], cand["header"], cand["misspeculation_cost"])
+                    for cand in result.to_dict()["candidates"]
+                    if "misspeculation_cost" in cand
+                )
+            )
+    assert len(costs) == 1

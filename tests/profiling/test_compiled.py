@@ -1,0 +1,210 @@
+"""Differential tests: the block-compiled interpreter must be
+observationally identical to the reference interpreter -- return
+values, memory state, executed-instruction counts, and the full tracer
+event stream -- over the whole benchmark suite and randomized loop
+programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchsuite import SUITE
+from repro.frontend import compile_minic
+from repro.profiling import (
+    CompiledMachine,
+    EdgeProfile,
+    FuelExhausted,
+    InterpError,
+    Machine,
+    Tracer,
+    make_machine,
+    run_module,
+)
+from repro.ssa import build_ssa, optimize
+from tests.integration.test_equivalence_random import _STMTS, _build_source
+
+import pytest
+
+
+class RecordingTracer(Tracer):
+    """Overrides every hook and records a normalized event stream."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_enter_function(self, func, args):
+        self.events.append(("enter", func.name, tuple(args)))
+
+    def on_exit_function(self, func, result):
+        self.events.append(("exit", func.name, result))
+
+    def on_block(self, func, block, prev_label):
+        self.events.append(("block", func.name, block.label, prev_label))
+
+    def on_edge(self, func, src_label, dst_label):
+        self.events.append(("edge", func.name, src_label, dst_label))
+
+    def on_instr(self, func, block, instr):
+        self.events.append(("instr", func.name, block.label, id(instr)))
+
+    def on_def(self, instr, value):
+        self.events.append(("def", id(instr), value))
+
+    def on_load(self, instr, addr, value):
+        self.events.append(("load", id(instr), addr, value))
+
+    def on_store(self, instr, addr, value, old):
+        self.events.append(("store", id(instr), addr, value, old))
+
+    def on_call(self, instr, args):
+        self.events.append(("call", id(instr), tuple(args)))
+
+
+def _prepare(source, name="m", ssa=True):
+    module = compile_minic(source, name=name)
+    if ssa:
+        for func in module.functions.values():
+            build_ssa(func)
+            optimize(func)
+    return module
+
+
+def _run_both(module, args, tracer_factory=None):
+    machines = []
+    tracers = []
+    for cls in (Machine, CompiledMachine):
+        machine = cls(module)
+        tracer = tracer_factory() if tracer_factory else None
+        if tracer is not None:
+            machine.add_tracer(tracer)
+        result = machine.run("main", list(args))
+        machines.append((machine, result))
+        tracers.append(tracer)
+    (ref, ref_result), (fast, fast_result) = machines
+    assert fast_result == ref_result
+    assert fast.memory == ref.memory
+    assert fast.executed == ref.executed
+    return tracers
+
+
+@pytest.mark.parametrize("bench", SUITE, ids=lambda b: b.name)
+def test_benchsuite_differential(bench):
+    """Every benchsuite program: same result, memory, fuel, events."""
+    module = _prepare(bench.source, name=bench.name)
+    ref_tracer, fast_tracer = _run_both(
+        module, [bench.train_n], tracer_factory=RecordingTracer
+    )
+    assert fast_tracer.events == ref_tracer.events
+
+
+@pytest.mark.parametrize("bench", SUITE[:3], ids=lambda b: b.name)
+def test_benchsuite_differential_edge_profile(bench):
+    """The profiling configuration (edge hooks only) agrees too."""
+    module = _prepare(bench.source, name=bench.name)
+    ref_tracer, fast_tracer = _run_both(
+        module, [bench.train_n], tracer_factory=EdgeProfile
+    )
+    assert fast_tracer.edge_counts == ref_tracer.edge_counts
+    assert fast_tracer.block_counts == ref_tracer.block_counts
+    assert fast_tracer.call_counts == ref_tracer.call_counts
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, len(_STMTS) - 1), min_size=1, max_size=6),
+    st.integers(0, 80),
+    st.booleans(),
+)
+def test_random_programs_differential(stmt_indices, n, with_tracer):
+    """Random loop programs from the equivalence generator execute
+    identically (with and without a full-hook tracer attached)."""
+    module = _prepare(_build_source(stmt_indices))
+    tracers = _run_both(
+        module, [n], tracer_factory=RecordingTracer if with_tracer else None
+    )
+    if with_tracer:
+        ref_tracer, fast_tracer = tracers
+        assert fast_tracer.events == ref_tracer.events
+
+
+def test_fuel_exhaustion_matches():
+    """Batched fuel accounting still enforces the budget, and both
+    interpreters agree on clean-run fuel consumption."""
+    module = _prepare(
+        """
+        int main(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += i; }
+            return s;
+        }
+        """
+    )
+    ref = Machine(module)
+    ref.run("main", [100])
+    budget = ref.executed
+
+    ok = CompiledMachine(module, fuel=budget)
+    ok.run("main", [100])
+    assert ok.executed == budget
+
+    with pytest.raises(FuelExhausted):
+        CompiledMachine(module, fuel=budget - 1).run("main", [100])
+
+
+def test_undefined_variable_message():
+    from repro.ir import parse_module
+
+    module = parse_module(
+        """
+        func main() {
+        entry:
+          x = add y, 1
+          ret x
+        }
+        """
+    )
+    with pytest.raises(InterpError, match="use of undefined variable y"):
+        CompiledMachine(module).run("main", [])
+
+
+def test_intrinsics_and_make_machine():
+    module = _prepare(
+        """
+        int main(int n) {
+            return ext(n) + 1;
+        }
+        """,
+        ssa=False,
+    )
+    # `ext` is unknown to the frontend; register it on the machine.
+    machine = make_machine(module, fast=True)
+    machine.register_intrinsic("ext", lambda m, x: x * 10)
+    assert machine.run("main", [4]) == 41
+
+    result, _ = run_module(
+        module, args=[4], intrinsics={"ext": lambda m, x: x * 10}, fast=True
+    )
+    reference, _ = run_module(
+        module, args=[4], intrinsics={"ext": lambda m, x: x * 10}, fast=False
+    )
+    assert result == reference == 41
+
+
+def test_rerun_after_tracer_change():
+    """Compiled code re-specializes when tracers change between runs."""
+    module = _prepare(
+        """
+        global int data[16];
+        int main(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { data[i & 15] = i; s += data[i & 15]; }
+            return s;
+        }
+        """
+    )
+    machine = CompiledMachine(module)
+    plain = machine.run("main", [32])
+    tracer = RecordingTracer()
+    machine.add_tracer(tracer)
+    traced = machine.run("main", [32])
+    assert plain == traced
+    assert any(event[0] == "store" for event in tracer.events)
