@@ -111,6 +111,57 @@ def _run_with_edge_profile(cls, module, n):
     return machine.run("main", [n])
 
 
+def test_noop_telemetry_overhead():
+    """Observability acceptance: with no sink attached the telemetry
+    layer must add less than 5% to compile_spt. The default path runs
+    the NULL_TELEMETRY no-op singleton; an enabled-but-sinkless
+    Telemetry must also stay within budget (the expensive per-event
+    accounting hides behind ``detail=True``)."""
+    from repro.core import Workload, compile_spt
+    from repro.obs import Telemetry
+
+    config = best_config()
+    workload = Workload(entry="main", args=(4000,))
+
+    def compile_null():
+        return compile_spt(compile_minic(SOURCE), config, workload)
+
+    def compile_observed():
+        telemetry = Telemetry()
+        result = compile_spt(
+            compile_minic(SOURCE), config, workload, telemetry=telemetry
+        )
+        telemetry.close()
+        return result
+
+    compile_null(), compile_observed()  # warm caches before timing
+
+    # Interleave the two variants so clock-speed drift and allocator
+    # state affect both equally; best-of cancels the remaining noise.
+    # GC is paused so collection pauses don't land on one variant.
+    import gc
+
+    baseline = observed = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(9):
+            start = time.perf_counter()
+            compile_null()
+            baseline = min(baseline, time.perf_counter() - start)
+            start = time.perf_counter()
+            compile_observed()
+            observed = min(observed, time.perf_counter() - start)
+    finally:
+        gc.enable()
+    overhead = observed / baseline - 1.0
+    print(
+        f"\ntelemetry overhead: baseline={baseline * 1e3:.1f}ms"
+        f" observed={observed * 1e3:.1f}ms ({overhead:+.1%})"
+    )
+    assert overhead < 0.05
+
+
 def _random_cost_graph(n_vcs: int, n_ops: int, seed: int = 1234) -> CostGraph:
     rng = random.Random(seed)
     cg = CostGraph()

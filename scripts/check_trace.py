@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event file produced by ``--trace-out``.
+
+Usage::
+
+    python scripts/check_trace.py trace.json [--require-phase NAME ...]
+
+Checks (exit 0 = valid, 1 = invalid, 2 = usage):
+
+* the file parses as JSON and has a ``traceEvents`` array;
+* every record carries the required trace-event keys with sane types
+  (non-negative timestamps, complete events with non-negative ``dur``);
+* records are sorted by timestamp;
+* same-thread complete events nest properly (no partial overlap);
+* every required pipeline phase appears as a complete event.  By
+  default the phases ``compile_spt`` always emits are required; pass
+  ``--require-phase`` to override the list.
+
+Used by CI as a smoke test on a benchsuite compilation, and handy
+locally before loading a trace into a viewer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+#: Phases compile_spt emits on every run (svp/region_splits/analyze_loop
+#: are config- and program-dependent, so they are not required).
+DEFAULT_PHASES = ["unroll", "ssa", "profile", "pass1", "selection", "transform"]
+
+REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+def check_trace(path: str, require_phases: List[str]) -> List[str]:
+    """All problems found with the trace at ``path`` (empty = valid)."""
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["no traceEvents array"]
+    if not events:
+        return ["traceEvents is empty"]
+
+    last_ts = None
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = REQUIRED_KEYS - set(event)
+        if missing:
+            problems.append(f"{where}: missing keys {sorted(missing)}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: timestamps not sorted ({ts} < {last_ts})")
+        last_ts = ts
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+
+    # Same-thread complete events must strictly nest.
+    complete = [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+    spans = sorted(
+        (e for e in complete if isinstance(e.get("dur"), (int, float))),
+        key=lambda e: (e["ts"], -e["dur"]),
+    )
+    stack: List[dict] = []
+    for event in spans:
+        start, end = event["ts"], event["ts"] + event["dur"]
+        while stack and stack[-1]["ts"] + stack[-1]["dur"] <= start:
+            stack.pop()
+        if stack:
+            outer_end = stack[-1]["ts"] + stack[-1]["dur"]
+            if end > outer_end + 1e-6:
+                problems.append(
+                    f"span {event['name']!r} [{start}, {end}] partially "
+                    f"overlaps {stack[-1]['name']!r} (ends {outer_end})"
+                )
+                continue
+        stack.append(event)
+
+    names = {e["name"] for e in complete}
+    for phase in require_phases:
+        if phase not in names:
+            problems.append(f"required phase {phase!r} has no complete event")
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require-phase",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="phase that must appear as a complete event "
+             "(repeatable; default: the always-on pipeline phases)",
+    )
+    args = parser.parse_args(argv)
+    phases = args.require_phase
+    if phases is None:
+        phases = DEFAULT_PHASES
+
+    problems = check_trace(args.trace, phases)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    with open(args.trace) as handle:
+        count = len(json.load(handle)["traceEvents"])
+    print(f"OK: {args.trace} valid ({count} events, "
+          f"phases: {', '.join(phases)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

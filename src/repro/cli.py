@@ -6,7 +6,13 @@ Usage (also available as ``python -m repro``):
     repro run prog.c --args 100               # interpret a MiniC program
     repro dump-ir prog.c [--ssa]              # lower (and SSA-convert)
     repro simulate prog.c --args 500          # compile + SPT machine model
+    repro explain prog.c [--loop f:header]    # why was each loop (not) selected
     repro report table1 fig14 ...             # regenerate paper results
+
+Compile-like commands accept observability flags: ``--trace-out t.json``
+writes a Chrome trace-event timeline of the compilation, ``--log-out
+run.jsonl`` a structured JSONL event log, and ``--obs-summary`` prints
+the end-of-run telemetry table.
 
 Every command accepts MiniC source (``.c``-style) or textual IR
 (detected by the leading ``module``/``func`` keyword).
@@ -72,6 +78,33 @@ def _config_from_args(args: argparse.Namespace) -> SptConfig:
     return config.with_overrides(**overrides) if overrides else config
 
 
+def _telemetry_from_args(args: argparse.Namespace):
+    """Build a Telemetry instance from the --trace-out / --log-out /
+    --obs-summary flags, or None when observability is off."""
+    from repro.obs import ChromeTraceSink, JsonlSink, Telemetry
+
+    sinks = []
+    if getattr(args, "trace_out", None):
+        sinks.append(ChromeTraceSink(args.trace_out))
+    if getattr(args, "log_out", None):
+        sinks.append(JsonlSink(args.log_out))
+    if not sinks and not getattr(args, "obs_summary", False):
+        return None
+    return Telemetry(sinks=sinks, detail=getattr(args, "obs_detail", False))
+
+
+def _finish_telemetry(telemetry, args: argparse.Namespace) -> None:
+    """Flush sinks and print the summary table if requested."""
+    if telemetry is None:
+        return
+    telemetry.close()
+    if getattr(args, "obs_summary", False):
+        from repro.obs import summary_text
+
+        print()
+        print(summary_text(telemetry))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     module = load_module(args.source)
     machine = Machine(module, fuel=args.fuel)
@@ -105,7 +138,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
     module = load_module(args.source)
     config = _config_from_args(args)
     workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
-    result = compile_spt(module, config, workload)
+    telemetry = _telemetry_from_args(args)
+    result = compile_spt(module, config, workload, telemetry=telemetry)
 
     print(f"configuration: {args.config}")
     print(f"loop candidates: {len(result.candidates)}")
@@ -132,6 +166,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if args.emit_ir:
         print()
         print(format_module(module), end="")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -140,9 +175,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     train = _parse_args_list(args.train_args or args.args)
     workload = Workload(entry=args.entry, args=tuple(train))
-    result = compile_spt(module, config, workload)
+    telemetry = _telemetry_from_args(args)
+    result = compile_spt(module, config, workload, telemetry=telemetry)
     if not result.spt_loops:
         print("no SPT loops selected; nothing to simulate")
+        _finish_telemetry(telemetry, args)
         return 1
 
     collectors = []
@@ -161,7 +198,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             )
         )
 
-    machine = Machine(module, fuel=args.fuel)
+    machine = Machine(module, fuel=args.fuel, telemetry=telemetry)
     tracer = TimingTracer(TimingModel())
     machine.add_tracer(tracer)
     for collector in collectors:
@@ -172,7 +209,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"single-core cycles: {tracer.cycles:.0f}  (IPC {tracer.ipc:.3f})")
     total_delta = 0.0
     for collector in collectors:
-        stats = simulate_spt_loop(collector)
+        stats = simulate_spt_loop(collector, telemetry=telemetry)
         total_delta += stats.spt_cycles - stats.seq_cycles
         print(
             f"  loop {stats.func_name}:{stats.header}: "
@@ -184,6 +221,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if spt_total > 0:
         print(f"program SPT cycles: {spt_total:.0f} "
               f"(speedup {tracer.cycles / spt_total:.3f}x)")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -238,8 +276,23 @@ def cmd_summary(args: argparse.Namespace) -> int:
     module = load_module(args.source)
     config = _config_from_args(args)
     workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
-    result = compile_spt(module, config, workload)
+    telemetry = _telemetry_from_args(args)
+    result = compile_spt(module, config, workload, telemetry=telemetry)
     print(json.dumps(result.to_dict(), indent=2))
+    _finish_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.report import explain_text
+
+    module = load_module(args.source)
+    config = _config_from_args(args)
+    workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
+    telemetry = _telemetry_from_args(args)
+    result = compile_spt(module, config, workload, telemetry=telemetry)
+    print(explain_text(result, config, loop=args.loop, verbose=not args.brief))
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -311,9 +364,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="use full-recompute cost evaluation in the partition search",
         )
 
+    def add_obs_options(p):
+        p.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="write a Chrome trace-event timeline of the compilation "
+                 "(open in chrome://tracing or Perfetto)",
+        )
+        p.add_argument(
+            "--log-out", default=None, metavar="PATH",
+            help="write a JSONL structured log of spans, events and counters",
+        )
+        p.add_argument(
+            "--obs-summary", action="store_true",
+            help="print the end-of-run telemetry summary table",
+        )
+        p.add_argument(
+            "--obs-detail", action="store_true",
+            help="also collect expensive per-event accounting "
+                 "(per-hook tracer event counts)",
+        )
+
     compile_p = sub.add_parser("compile", help="two-pass SPT compilation")
     add_source(compile_p)
     add_config_options(compile_p)
+    add_obs_options(compile_p)
     compile_p.add_argument(
         "--emit-ir", action="store_true", help="print the transformed IR"
     )
@@ -322,9 +396,27 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p = sub.add_parser("simulate", help="compile and run the SPT machine model")
     add_source(sim_p)
     add_config_options(sim_p)
+    add_obs_options(sim_p)
     sim_p.add_argument("--train-args", default=None,
                        help="profiling args (defaults to --args)")
     sim_p.set_defaults(fn=cmd_simulate)
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="compile and explain why each loop was (not) selected",
+    )
+    add_source(explain_p)
+    add_config_options(explain_p)
+    add_obs_options(explain_p)
+    explain_p.add_argument(
+        "--loop", default=None, metavar="FUNC:HEADER",
+        help="restrict the report to one loop (e.g. main:for_head)",
+    )
+    explain_p.add_argument(
+        "--brief", action="store_true",
+        help="omit the pre-fork region statement listing",
+    )
+    explain_p.set_defaults(fn=cmd_explain)
 
     report_p = sub.add_parser("report", help="regenerate paper tables/figures")
     report_p.add_argument("targets", nargs="*", help="table1 fig14 ... (default: all)")
@@ -346,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_source(summary_p)
     add_config_options(summary_p)
+    add_obs_options(summary_p)
     summary_p.set_defaults(fn=cmd_summary)
 
     return parser

@@ -112,6 +112,10 @@ class CostEvaluator:
         requests = self.evaluations + self.cache_hits
         return self.cache_hits / requests if requests else 0.0
 
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for telemetry and diagnostics."""
+        return _evaluator_stats(self)
+
     def cost(self, prefork: Iterable[Hashable]) -> float:
         key = frozenset(prefork)
         cached = self._cache.get(key)
@@ -171,6 +175,10 @@ class IncrementalCostEvaluator:
     def hit_rate(self) -> float:
         requests = self.evaluations + self.cache_hits
         return self.cache_hits / requests if requests else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for telemetry and diagnostics."""
+        return _evaluator_stats(self)
 
     # -- reachability ---------------------------------------------------
 
@@ -338,6 +346,16 @@ class IncrementalCostEvaluator:
         for vc_key, pseudo in self.cg.pseudos.items():
             result[("pseudo", vc_key)] = v[pseudo]
         return result
+
+
+def _evaluator_stats(evaluator) -> Dict[str, float]:
+    """The common counter snapshot both evaluator flavours expose."""
+    return {
+        "evaluations": evaluator.evaluations,
+        "cache_hits": evaluator.cache_hits,
+        "hit_rate": evaluator.hit_rate,
+        "node_visits": evaluator.node_visits,
+    }
 
 
 def make_cost_evaluator(cg: CostGraph, config=None):

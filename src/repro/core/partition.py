@@ -16,7 +16,7 @@ and prunes with the two heuristics of §5.2.1:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from repro.analysis.depgraph import LoopDepGraph
 from repro.core.config import SptConfig
@@ -25,6 +25,7 @@ from repro.core.costmodel import CostEvaluator, make_cost_evaluator
 from repro.core.vcdep import VCDepGraph
 from repro.core.violation import ViolationCandidate, find_violation_candidates
 from repro.ir.instr import Instr
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class PartitionResult:
@@ -44,6 +45,8 @@ class PartitionResult:
         evaluations: int = 0,
         cache_hits: int = 0,
         cost_node_visits: int = 0,
+        pruned_size: int = 0,
+        pruned_bound: int = 0,
     ):
         self.loop = loop
         self.candidates = candidates
@@ -66,6 +69,14 @@ class PartitionResult:
         self.cache_hits = cache_hits
         #: Cost-graph nodes visited by probability propagation.
         self.cost_node_visits = cost_node_visits
+        #: Subtrees cut by pruning heuristic 1 (size monotone) / 2
+        #: (cost lower bound) of §5.2.1.
+        self.pruned_size = pruned_size
+        self.pruned_bound = pruned_bound
+        #: Per-candidate cost breakdown: (vc, in_prefork, marginal)
+        #: where ``marginal`` is the cost increase of evicting a
+        #: pre-fork candidate / the saving of admitting a post-fork one.
+        self.vc_breakdown: List[Tuple[ViolationCandidate, bool, float]] = []
 
     @property
     def cost_ratio(self) -> float:
@@ -91,6 +102,8 @@ class PartitionResult:
             "cache_hits": self.cache_hits,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "cost_node_visits": self.cost_node_visits,
+            "pruned_size": self.pruned_size,
+            "pruned_bound": self.pruned_bound,
         }
 
     def __repr__(self) -> str:
@@ -107,6 +120,7 @@ def find_optimal_partition(
     candidates: List[ViolationCandidate] = None,
     cost_graph: CostGraph = None,
     use_pruning: bool = True,
+    telemetry=None,
 ) -> PartitionResult:
     """Search the optimal SPT partition for one loop.
 
@@ -115,6 +129,7 @@ def find_optimal_partition(
     them the enumeration would revisit subsets).
     """
     config = config or SptConfig()
+    telemetry = telemetry or NULL_TELEMETRY
     loop = graph.loop
     body_size = loop.body_size(graph.func)
 
@@ -122,6 +137,8 @@ def find_optimal_partition(
         candidates = find_violation_candidates(graph)
 
     if len(candidates) > config.max_violation_candidates:
+        if telemetry.enabled:
+            telemetry.count("partition.skipped_too_many_vcs")
         return PartitionResult(
             loop,
             candidates,
@@ -160,6 +177,8 @@ def find_optimal_partition(
     best_set: Set[int] = set()
     search_nodes = 1
     node_budget = config.max_search_nodes
+    pruned_size = 0
+    pruned_bound = 0
 
     def lower_bound(selected: Set[int], cursor: int) -> float:
         """Cost if every candidate beyond ``cursor`` also moved pre-fork."""
@@ -168,7 +187,7 @@ def find_optimal_partition(
         return evaluator.cost(vc_keys(optimistic))
 
     def search(selected: Set[int], cursor: int) -> None:
-        nonlocal best_cost, best_set, search_nodes
+        nonlocal best_cost, best_set, search_nodes, pruned_size, pruned_bound
         for index in vcdep.addable(selected, cursor):
             if search_nodes >= node_budget:
                 return
@@ -176,6 +195,7 @@ def find_optimal_partition(
             size = vcdep.partition_size(child)
             if size > size_threshold:
                 # Pruning heuristic 1: size is monotone along the path.
+                pruned_size += 1
                 continue
             search_nodes += 1
             cost = evaluator.cost(vc_keys(child))
@@ -186,6 +206,7 @@ def find_optimal_partition(
                 best_set = set(child)
             if use_pruning and lower_bound(child, index) >= best_cost - 1e-12:
                 # Pruning heuristic 2: no offspring can improve.
+                pruned_bound += 1
                 continue
             search(child, index)
 
@@ -193,7 +214,7 @@ def find_optimal_partition(
 
     prefork_vcs = [vcdep.candidates[i] for i in sorted(best_set)]
     prefork_stmts = vcdep.union_closure(best_set)
-    return PartitionResult(
+    result = PartitionResult(
         loop,
         candidates,
         prefork_vcs=prefork_vcs,
@@ -205,7 +226,46 @@ def find_optimal_partition(
         evaluations=evaluator.evaluations,
         cache_hits=evaluator.cache_hits,
         cost_node_visits=evaluator.node_visits,
+        pruned_size=pruned_size,
+        pruned_bound=pruned_bound,
     )
+    result.vc_breakdown = _vc_breakdown(
+        candidates, best_set, best_cost, evaluator, vc_keys
+    )
+    if telemetry.enabled:
+        telemetry.count("partition.loops_searched")
+        telemetry.count("partition.search_nodes", search_nodes)
+        telemetry.count("partition.cost_evaluations", evaluator.evaluations)
+        telemetry.count("partition.cost_cache_hits", evaluator.cache_hits)
+        telemetry.count("partition.cost_node_visits", evaluator.node_visits)
+        telemetry.count("partition.pruned_size", pruned_size)
+        telemetry.count("partition.pruned_bound", pruned_bound)
+    return result
+
+
+def _vc_breakdown(
+    candidates, best_set, best_cost, evaluator, vc_keys
+) -> List[Tuple[ViolationCandidate, bool, float]]:
+    """Marginal misspeculation-cost attribution per violation candidate.
+
+    Relative to the optimal pre-fork set: for a pre-fork candidate the
+    cost increase of evicting it, for a post-fork candidate the saving
+    of admitting it (the legality closure is ignored here -- this is an
+    attribution, not a feasibility statement).  The evaluator's memo
+    makes these |VC| extra evaluations cheap next to the search.
+    """
+    if best_cost == float("inf"):
+        return [(vc, False, 0.0) for vc in candidates]
+    best_keys = vc_keys(best_set)
+    breakdown: List[Tuple[ViolationCandidate, bool, float]] = []
+    for vc in candidates:
+        in_prefork = vc.instr in best_keys
+        if in_prefork:
+            marginal = evaluator.cost(best_keys - {vc.instr}) - best_cost
+        else:
+            marginal = best_cost - evaluator.cost(best_keys | {vc.instr})
+        breakdown.append((vc, in_prefork, marginal))
+    return breakdown
 
 
 def brute_force_partition(

@@ -29,8 +29,8 @@ from repro.core.costgraph import build_cost_graph
 from repro.core.partition import PartitionResult, find_optimal_partition
 from repro.core.privatize import privatize
 from repro.core.selection import (
-    CATEGORY_IRREGULAR,
     LoopCandidate,
+    RejectionReason,
     category_histogram,
     select_spt_loops,
 )
@@ -44,6 +44,7 @@ from repro.core.transform import (
 from repro.core.unroll import UnrollReport, unroll_function
 from repro.core.violation import find_violation_candidates
 from repro.ir.function import Module
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.profiling.compiled import make_machine
 from repro.profiling.dep_profile import DependenceProfile
 from repro.profiling.edge_profile import EdgeProfile
@@ -103,6 +104,10 @@ class CompilationResult:
                 "selected": c.selected,
                 "svp_applied": c.svp_applied,
             }
+            if c.rejection is not None:
+                entry["rejection"] = c.rejection.to_dict()
+            if c.transform_error is not None:
+                entry["transform_error"] = c.transform_error
             if c.partition is not None and not c.partition.skipped_too_many_vcs:
                 entry["misspeculation_cost"] = round(c.partition.cost, 4)
                 entry["prefork_size"] = round(c.partition.prefork_size, 2)
@@ -128,6 +133,7 @@ class CompilationResult:
                 }
                 for info in self.svp_infos
             ],
+            "region_splits": [split.to_dict() for split in self.region_splits],
             "unrolled": {
                 name: report.unrolled
                 for name, report in self.unroll_reports.items()
@@ -143,9 +149,12 @@ class CompilationResult:
 
 
 def _profile(
-    module: Module, workload: Workload, tracers, fast: bool = True
+    module: Module, workload: Workload, tracers, fast: bool = True,
+    telemetry=NULL_TELEMETRY,
 ) -> None:
-    machine = make_machine(module, fuel=workload.fuel, fast=fast)
+    machine = make_machine(
+        module, fuel=workload.fuel, fast=fast, telemetry=telemetry
+    )
     for name, fn in workload.intrinsics.items():
         machine.register_intrinsic(name, fn)
     for tracer in tracers:
@@ -161,15 +170,33 @@ def _analyze_loop(
     edge_profile: EdgeProfile,
     dep_profile: Optional[DependenceProfile],
     modref: Optional[ModRefSummaries],
+    telemetry=NULL_TELEMETRY,
 ) -> Tuple[LoopCandidate, Optional[LoopDepGraph]]:
     """Run the pass-1 core (Figure 3) on one loop."""
+    with telemetry.span("analyze_loop", function=func.name, loop=loop.header):
+        return _analyze_loop_inner(
+            module, func, loop, config, edge_profile, dep_profile, modref,
+            telemetry,
+        )
+
+
+def _analyze_loop_inner(
+    module: Module,
+    func,
+    loop: Loop,
+    config: SptConfig,
+    edge_profile: EdgeProfile,
+    dep_profile: Optional[DependenceProfile],
+    modref: Optional[ModRefSummaries],
+    telemetry=NULL_TELEMETRY,
+) -> Tuple[LoopCandidate, Optional[LoopDepGraph]]:
     cfg = CFG.build(func)
     trip = edge_profile.trip_count(func, loop, cfg)
     iterations = edge_profile.loop_iterations(func, loop, cfg)
 
     try:
         check_transformable(func, loop, cfg)
-    except TransformError:
+    except TransformError as exc:
         candidate = LoopCandidate(
             func.name,
             loop,
@@ -179,6 +206,16 @@ def _analyze_loop(
             total_iterations=iterations,
             irregular=True,
         )
+        candidate.transform_error = str(exc)
+        if telemetry.enabled:
+            telemetry.count("pipeline.loops_irregular")
+            telemetry.event(
+                "transform.rejected",
+                function=func.name,
+                loop=loop.header,
+                stage="check_transformable",
+                error=str(exc),
+            )
         return candidate, None
 
     dep_view = dep_profile.view(func.name, loop) if dep_profile else None
@@ -198,7 +235,7 @@ def _analyze_loop(
     dynamic_size = sum(
         info.instr.cost * info.reach for info in graph.info.values()
     )
-    partition = find_optimal_partition(graph, config)
+    partition = find_optimal_partition(graph, config, telemetry=telemetry)
     candidate = LoopCandidate(
         func.name,
         loop,
@@ -207,63 +244,90 @@ def _analyze_loop(
         trip_count=trip,
         total_iterations=iterations,
     )
+    if telemetry.enabled:
+        telemetry.count("pipeline.loops_analyzed")
     return candidate, graph
 
 
 def compile_spt(
-    module: Module, config: SptConfig, workload: Workload
+    module: Module, config: SptConfig, workload: Workload, telemetry=None
 ) -> CompilationResult:
-    """Run the full two-pass SPT compilation on ``module`` in place."""
+    """Run the full two-pass SPT compilation on ``module`` in place.
+
+    ``telemetry`` is an optional :class:`repro.obs.Telemetry`; every
+    phase opens a span on it, each analyzed loop gets a child span, and
+    the search/profiling layers below report counters.  The caller owns
+    the telemetry lifecycle (``close()`` flushes the sinks)."""
+    telemetry = telemetry or NULL_TELEMETRY
     result = CompilationResult(module, config)
 
     # -- loop preprocessing: unrolling (pre-SSA, §7.1) -------------------
-    for func in module.functions.values():
-        result.unroll_reports[func.name] = unroll_function(func, config)
+    with telemetry.span("unroll"):
+        for func in module.functions.values():
+            result.unroll_reports[func.name] = unroll_function(func, config)
+        if telemetry.enabled:
+            telemetry.count(
+                "unroll.loops_unrolled",
+                sum(
+                    len(r.unrolled) for r in result.unroll_reports.values()
+                ),
+            )
 
     # -- SSA construction + cleanup (our WOPT stand-in) -----------------
-    for func in module.functions.values():
-        build_ssa(func)
-        optimize(func)
+    with telemetry.span("ssa"):
+        for func in module.functions.values():
+            build_ssa(func)
+            optimize(func)
 
     # -- profiling runs -----------------------------------------------------
-    edge_profile = EdgeProfile()
-    tracers = [edge_profile]
-    dep_profile = None
-    if config.enable_dep_profiling:
-        dep_profile = DependenceProfile(module)
-        tracers.append(dep_profile)
-    _profile(module, workload, tracers, fast=config.fast_interp)
-    result.edge_profile = edge_profile
-    result.dep_profile = dep_profile
+    with telemetry.span(
+        "profile", entry=workload.entry, fast=config.fast_interp
+    ):
+        edge_profile = EdgeProfile()
+        tracers = [edge_profile]
+        dep_profile = None
+        if config.enable_dep_profiling:
+            dep_profile = DependenceProfile(module)
+            tracers.append(dep_profile)
+        _profile(
+            module, workload, tracers, fast=config.fast_interp,
+            telemetry=telemetry,
+        )
+        result.edge_profile = edge_profile
+        result.dep_profile = dep_profile
 
     modref = ModRefSummaries(module) if config.enable_modref_summaries else None
 
     # -- pass 1: evaluate every nesting level of every loop ------------------
     graphs: Dict[Tuple[str, str], LoopDepGraph] = {}
     candidates: List[LoopCandidate] = []
-    for func in module.functions.values():
-        nest = LoopNest.build(func)
-        for loop in nest.loops:
-            candidate, graph = _analyze_loop(
-                module, func, loop, config, edge_profile, dep_profile, modref
-            )
-            candidates.append(candidate)
-            if graph is not None:
-                graphs[(func.name, loop.header)] = graph
+    with telemetry.span("pass1"):
+        for func in module.functions.values():
+            nest = LoopNest.build(func)
+            for loop in nest.loops:
+                candidate, graph = _analyze_loop(
+                    module, func, loop, config, edge_profile, dep_profile,
+                    modref, telemetry,
+                )
+                candidates.append(candidate)
+                if graph is not None:
+                    graphs[(func.name, loop.header)] = graph
 
     # -- SVP round (§7.2) ------------------------------------------------------
     if config.enable_svp:
-        candidates, graphs = _svp_round(
-            module,
-            config,
-            workload,
-            candidates,
-            graphs,
-            edge_profile,
-            dep_profile,
-            modref,
-            result,
-        )
+        with telemetry.span("svp"):
+            candidates, graphs = _svp_round(
+                module,
+                config,
+                workload,
+                candidates,
+                graphs,
+                edge_profile,
+                dep_profile,
+                modref,
+                result,
+                telemetry,
+            )
 
     result.candidates = candidates
     for candidate in candidates:
@@ -277,34 +341,69 @@ def compile_spt(
         from repro.core.regions import choose_region_split
         from repro.core.selection import CATEGORY_BODY_TOO_LARGE, classify
 
-        for candidate in candidates:
-            if candidate.partition is None or candidate.irregular:
-                continue
-            if classify(candidate, config) != CATEGORY_BODY_TOO_LARGE:
-                continue
-            graph = graphs.get((candidate.func_name, candidate.loop.header))
-            if graph is None:
-                continue
-            func = module.function(candidate.func_name)
-            split = choose_region_split(func, candidate.loop, graph, config)
-            if split is not None:
-                result.region_splits.append(split)
+        with telemetry.span("region_splits"):
+            for candidate in candidates:
+                if candidate.partition is None or candidate.irregular:
+                    continue
+                if classify(candidate, config) != CATEGORY_BODY_TOO_LARGE:
+                    continue
+                graph = graphs.get((candidate.func_name, candidate.loop.header))
+                if graph is None:
+                    continue
+                func = module.function(candidate.func_name)
+                split = choose_region_split(func, candidate.loop, graph, config)
+                if split is not None:
+                    result.region_splits.append(split)
+                    if telemetry.enabled:
+                        telemetry.count("regions.splits_found")
 
     # -- pass 2: global selection + transformation -----------------------------
-    selected = select_spt_loops(candidates, config)
-    for candidate in selected:
-        func = module.function(candidate.func_name)
-        graph = graphs.get((candidate.func_name, candidate.loop.header))
-        try:
-            info = transform_loop(
-                module, func, candidate.loop, candidate.partition, graph
-            )
-        except TransformError:
-            candidate.selected = False
-            candidate.category = CATEGORY_IRREGULAR
-            continue
-        result.spt_loops.append(info)
-        result.selected.append(candidate)
+    with telemetry.span("selection"):
+        selected = select_spt_loops(candidates, config)
+        if telemetry.enabled:
+            telemetry.count("selection.candidates", len(candidates))
+            telemetry.count("selection.selected", len(selected))
+            for candidate in candidates:
+                if candidate.rejection is not None:
+                    telemetry.event(
+                        "selection.rejected",
+                        function=candidate.func_name,
+                        loop=candidate.loop.header,
+                        category=candidate.category,
+                        **candidate.rejection.to_dict(),
+                    )
+
+    with telemetry.span("transform"):
+        for candidate in selected:
+            func = module.function(candidate.func_name)
+            graph = graphs.get((candidate.func_name, candidate.loop.header))
+            try:
+                info = transform_loop(
+                    module, func, candidate.loop, candidate.partition, graph
+                )
+            except TransformError as exc:
+                # The loop keeps its pass-1 category (the histogram still
+                # reflects the selection decision); the failure itself is
+                # recorded on the candidate for diagnosis.
+                candidate.selected = False
+                candidate.transform_error = str(exc)
+                candidate.rejection = RejectionReason(
+                    "transform_error", detail=str(exc)
+                )
+                if telemetry.enabled:
+                    telemetry.count("transform.failed")
+                    telemetry.event(
+                        "transform.rejected",
+                        function=candidate.func_name,
+                        loop=candidate.loop.header,
+                        stage="transform_loop",
+                        error=str(exc),
+                    )
+                continue
+            result.spt_loops.append(info)
+            result.selected.append(candidate)
+        if telemetry.enabled:
+            telemetry.count("transform.loops_transformed", len(result.selected))
 
     return result
 
@@ -319,6 +418,7 @@ def _svp_round(
     dep_profile,
     modref,
     result,
+    telemetry=NULL_TELEMETRY,
 ):
     """Value-profile critical VCs of high-cost loops, apply SVP, and
     re-analyze the loops that changed."""
@@ -344,7 +444,10 @@ def _svp_round(
         return candidates, graphs
 
     value_profile = ValueProfile([vc.instr for _, vc in svp_targets])
-    _profile(module, workload, [value_profile], fast=config.fast_interp)
+    _profile(
+        module, workload, [value_profile], fast=config.fast_interp,
+        telemetry=telemetry,
+    )
 
     changed_funcs = set()
     for candidate, vc in svp_targets:
@@ -356,6 +459,15 @@ def _svp_round(
         if info is not None:
             result.svp_infos.append(info)
             changed_funcs.add(candidate.func_name)
+            if telemetry.enabled:
+                telemetry.count("svp.predictions_applied")
+                telemetry.event(
+                    "svp.applied",
+                    function=candidate.func_name,
+                    loop=candidate.loop.header,
+                    variable=info.var_base,
+                    hit_rate=round(info.hit_rate, 4),
+                )
 
     if not changed_funcs:
         return candidates, graphs
@@ -373,7 +485,8 @@ def _svp_round(
             new_candidates.append(candidate)
             continue
         refreshed, graph = _analyze_loop(
-            module, func, matching[0], config, edge_profile, dep_profile, modref
+            module, func, matching[0], config, edge_profile, dep_profile,
+            modref, telemetry,
         )
         refreshed.svp_applied = True
         new_candidates.append(refreshed)

@@ -48,8 +48,11 @@ class RegionSplit:
         size_a: float,
         size_b: float,
         cost: float,
+        func_name: str = None,
     ):
         self.loop = loop
+        #: Name of the function owning the loop (for reports).
+        self.func_name = func_name
         #: First block of region B (every iteration passes through it).
         self.split_label = split_label
         #: All block labels belonging to region B.
@@ -67,6 +70,19 @@ class RegionSplit:
         if total <= 0:
             return 0.0
         return 1.0 - abs(self.size_a - self.size_b) / total
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of the split."""
+        return {
+            "function": self.func_name,
+            "header": self.loop.header,
+            "split_label": self.split_label,
+            "b_labels": sorted(self.b_labels),
+            "size_a": round(self.size_a, 2),
+            "size_b": round(self.size_b, 2),
+            "cost": round(self.cost, 4),
+            "balance": round(self.balance, 4),
+        }
 
     def estimated_round(self, config: SptConfig) -> float:
         """Predicted cycles for one iteration under region speculation."""
@@ -190,7 +206,10 @@ def find_region_splits(
             continue
         cost = _split_cost(graph, b_instrs)
         splits.append(
-            RegionSplit(loop, split_label, b_labels, size_a, size_b, cost)
+            RegionSplit(
+                loop, split_label, b_labels, size_a, size_b, cost,
+                func_name=func.name,
+            )
         )
 
     splits.sort(key=lambda s: -s.estimated_benefit(config))

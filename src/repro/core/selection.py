@@ -18,7 +18,8 @@ execution model predicts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SptConfig
 from repro.core.partition import PartitionResult
@@ -45,6 +46,42 @@ ALL_CATEGORIES = (
     CATEGORY_NEST_CONFLICT,
     CATEGORY_NO_BENEFIT,
 )
+
+
+@dataclass
+class RejectionReason:
+    """Why a §6.1 criterion (or a later stage) rejected a loop.
+
+    ``measured`` and ``threshold`` quantify the failed comparison so a
+    decision can be reconstructed from the report alone; ``detail``
+    carries the human-readable sentence (and, for stages without a
+    numeric threshold, the whole story)."""
+
+    #: Which check failed ("cost_threshold", "prefork_threshold",
+    #: "min_body_size", ... or "transform_error"/"nest_conflict").
+    criterion: str
+    measured: Optional[float] = None
+    threshold: Optional[float] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"criterion": self.criterion}
+        if self.measured is not None:
+            out["measured"] = round(self.measured, 4)
+        if self.threshold is not None:
+            out["threshold"] = round(self.threshold, 4)
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    def __str__(self) -> str:
+        if self.measured is not None and self.threshold is not None:
+            return (
+                f"{self.criterion}: measured {self.measured:.4g} vs "
+                f"threshold {self.threshold:.4g}"
+                + (f" ({self.detail})" if self.detail else "")
+            )
+        return f"{self.criterion}: {self.detail}" if self.detail else self.criterion
 
 
 class LoopCandidate:
@@ -77,6 +114,12 @@ class LoopCandidate:
         #: Filled by :func:`select_spt_loops`.
         self.category: Optional[str] = None
         self.selected = False
+        #: Why the loop was rejected (None while accepted); filled by
+        #: :func:`select_spt_loops` and the pipeline's transform stage.
+        self.rejection: Optional[RejectionReason] = None
+        #: Message of the TransformError that stopped this loop (either
+        #: the pass-1 transformability check or the pass-2 transform).
+        self.transform_error: Optional[str] = None
 
     @property
     def key(self) -> str:
@@ -86,25 +129,69 @@ class LoopCandidate:
         return f"LoopCandidate({self.key}, {self.category})"
 
 
-def classify(candidate: LoopCandidate, config: SptConfig) -> str:
-    """Apply the §6.1 criteria; returns a category constant."""
+def diagnose(
+    candidate: LoopCandidate, config: SptConfig
+) -> Tuple[str, Optional[RejectionReason]]:
+    """Apply the §6.1 criteria; returns (category, rejection reason).
+
+    The reason is ``None`` exactly when the category is
+    :data:`CATEGORY_VALID`; otherwise it names the first criterion that
+    failed together with the measured value and the threshold it was
+    held against."""
     if candidate.irregular:
-        return CATEGORY_IRREGULAR
+        detail = candidate.transform_error or "control flow not transformable"
+        return CATEGORY_IRREGULAR, RejectionReason("transformable", detail=detail)
     partition = candidate.partition
     if partition is None or partition.skipped_too_many_vcs:
-        return CATEGORY_TOO_MANY_VCS
+        measured = float(len(partition.candidates)) if partition else None
+        return CATEGORY_TOO_MANY_VCS, RejectionReason(
+            "max_violation_candidates",
+            measured=measured,
+            threshold=float(config.max_violation_candidates),
+            detail="partition search skipped (§5.2)",
+        )
     size = candidate.dynamic_body_size
     if size < config.min_body_size:
-        return CATEGORY_BODY_TOO_SMALL
+        return CATEGORY_BODY_TOO_SMALL, RejectionReason(
+            "min_body_size",
+            measured=size,
+            threshold=float(config.min_body_size),
+            detail="body too small to amortize fork overhead (§6.1 criterion 3)",
+        )
     if size > config.max_body_size:
-        return CATEGORY_BODY_TOO_LARGE
+        return CATEGORY_BODY_TOO_LARGE, RejectionReason(
+            "max_body_size",
+            measured=size,
+            threshold=float(config.max_body_size),
+            detail="body exceeds speculative buffering (§6.1 criterion 3)",
+        )
     if candidate.trip_count < config.min_trip_count:
-        return CATEGORY_LOW_TRIP
+        return CATEGORY_LOW_TRIP, RejectionReason(
+            "min_trip_count",
+            measured=candidate.trip_count,
+            threshold=config.min_trip_count,
+            detail="next iteration unlikely to execute (§6.1 criterion 4)",
+        )
     if partition.cost > config.cost_threshold(size):
-        return CATEGORY_HIGH_COST
+        return CATEGORY_HIGH_COST, RejectionReason(
+            "cost_threshold",
+            measured=partition.cost,
+            threshold=config.cost_threshold(size),
+            detail="misspeculation cost over body-size fraction (§6.1 criterion 1)",
+        )
     if partition.prefork_size > config.prefork_size_threshold(size):
-        return CATEGORY_HIGH_COST
-    return CATEGORY_VALID
+        return CATEGORY_HIGH_COST, RejectionReason(
+            "prefork_threshold",
+            measured=partition.prefork_size,
+            threshold=config.prefork_size_threshold(size),
+            detail="pre-fork region over body-size fraction (§6.1 criterion 2)",
+        )
+    return CATEGORY_VALID, None
+
+
+def classify(candidate: LoopCandidate, config: SptConfig) -> str:
+    """Apply the §6.1 criteria; returns a category constant."""
+    return diagnose(candidate, config)[0]
 
 
 def estimated_benefit(candidate: LoopCandidate, config: SptConfig) -> float:
@@ -139,7 +226,7 @@ def select_spt_loops(
     greedily by estimated benefit.
     """
     for candidate in candidates:
-        candidate.category = classify(candidate, config)
+        candidate.category, candidate.rejection = diagnose(candidate, config)
         candidate.selected = False
 
     valid = [c for c in candidates if c.category == CATEGORY_VALID]
@@ -156,11 +243,25 @@ def select_spt_loops(
         )
 
     for candidate in valid:
-        if estimated_benefit(candidate, config) <= 0.0:
+        benefit = estimated_benefit(candidate, config)
+        if benefit <= 0.0:
             candidate.category = CATEGORY_NO_BENEFIT
+            candidate.rejection = RejectionReason(
+                "estimated_benefit",
+                measured=benefit,
+                threshold=0.0,
+                detail="predicted SPT round does not beat sequential execution",
+            )
             continue
-        if any(conflicts(candidate, chosen) for chosen in selected):
+        rival = next((c for c in selected if conflicts(candidate, c)), None)
+        if rival is not None:
             candidate.category = CATEGORY_NEST_CONFLICT
+            candidate.rejection = RejectionReason(
+                "nest_conflict",
+                measured=benefit,
+                threshold=estimated_benefit(rival, config),
+                detail=f"outranked by {rival.key} in the same nest",
+            )
             continue
         candidate.selected = True
         selected.append(candidate)

@@ -477,11 +477,22 @@ def _replay_speculative(
     return reexec_cycles, reexec_ops
 
 
-def simulate_spt_loop(collector: SptTraceCollector) -> SptLoopStats:
+def simulate_spt_loop(collector: SptTraceCollector, telemetry=None) -> SptLoopStats:
     """Recombine the collected traces into SPT rounds and total up the
-    loop's sequential vs. SPT execution time."""
+    loop's sequential vs. SPT execution time.
+
+    With enabled ``telemetry``, every round emits one ``spt.round``
+    event (fork, commit, re-execution outcome) and the fork/commit/
+    misspeculation totals accumulate as ``spt.*`` counters.
+    """
+    if telemetry is None:
+        from repro.obs.telemetry import NULL_TELEMETRY
+
+        telemetry = NULL_TELEMETRY
+    observed = telemetry.enabled
+    loop_key = f"{collector.func_name}:{collector.header}"
     stats = SptLoopStats(collector.func_name, collector.header)
-    for iterations in collector.invocations:
+    for invocation, iterations in enumerate(collector.invocations):
         if not iterations:
             continue
         stats.invocations += 1
@@ -492,6 +503,7 @@ def simulate_spt_loop(collector: SptTraceCollector) -> SptLoopStats:
             stats.prefork_cycles += trace.pre_latency()
 
         index = 0
+        round_index = 0
         while index < len(iterations):
             main = iterations[index]
             if index + 1 < len(iterations):
@@ -503,21 +515,55 @@ def simulate_spt_loop(collector: SptTraceCollector) -> SptLoopStats:
                 t_pre = main.pre_latency()
                 t_post = main.post_latency()
                 t_spec = spec.total_latency
-                stats.spt_cycles += (
+                round_cycles = (
                     t_pre
                     + FORK_CYCLES
                     + max(t_post, t_spec)
                     + COMMIT_CYCLES
                     + reexec_cycles
                 )
+                stats.spt_cycles += round_cycles
                 stats.spec_ops += len(spec.ops)
                 stats.spec_cycles += t_spec
                 stats.reexec_ops += reexec_ops
                 stats.reexec_cycles += reexec_cycles
+                if observed:
+                    telemetry.count("spt.rounds")
+                    telemetry.count("spt.forks")
+                    telemetry.count("spt.commits")
+                    telemetry.count("spt.reexec_ops", reexec_ops)
+                    if reexec_ops:
+                        telemetry.count("spt.misspeculation_events")
+                    telemetry.event(
+                        "spt.round",
+                        loop=loop_key,
+                        invocation=invocation,
+                        round=round_index,
+                        committed=True,
+                        spec_ops=len(spec.ops),
+                        reexec_ops=reexec_ops,
+                        reexec_cycles=round(reexec_cycles, 3),
+                        round_cycles=round(round_cycles, 3),
+                    )
                 index += 2
             else:
                 # Unpaired trailing iteration: main runs it alone; the
                 # fork it issued spawns a doomed thread (killed at exit).
                 stats.spt_cycles += main.total_latency + FORK_CYCLES
+                if observed:
+                    telemetry.count("spt.forks")
+                    telemetry.count("spt.wasted_forks")
+                    telemetry.event(
+                        "spt.round",
+                        loop=loop_key,
+                        invocation=invocation,
+                        round=round_index,
+                        committed=False,
+                        spec_ops=0,
+                        reexec_ops=0,
+                    )
                 index += 1
+            round_index += 1
+    if observed:
+        telemetry.count("spt.loops_simulated")
     return stats

@@ -1,0 +1,30 @@
+"""Observability: compilation telemetry (spans, counters, events) and
+pluggable sinks.  See ``docs/observability.md``."""
+
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    Sink,
+    SummarySink,
+    summary_text,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Event,
+    NullTelemetry,
+    Span,
+    Telemetry,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "Event",
+    "JsonlSink",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Sink",
+    "Span",
+    "SummarySink",
+    "Telemetry",
+    "summary_text",
+]

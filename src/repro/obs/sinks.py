@@ -1,0 +1,205 @@
+"""Telemetry sinks: JSONL, Chrome trace-event, and summary table.
+
+A sink receives finished spans and events as they close and gets one
+``on_close`` call with the whole telemetry object at the end of the
+run.  Sinks that need global state (the Chrome trace's counter series,
+the summary's totals) buffer until ``on_close``.
+
+* :class:`JsonlSink` -- one JSON object per line, written immediately;
+  greppable and streamable.
+* :class:`ChromeTraceSink` -- a ``chrome://tracing`` / Perfetto
+  compatible JSON trace ("traceEvents" array of complete/instant/
+  counter events); load the file in a trace viewer to see the phase
+  timeline of a compilation.
+* :class:`SummarySink` -- renders a human-readable end-of-run table of
+  phase durations and counter totals to a stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional
+
+from repro.obs.telemetry import Event, Span, Telemetry
+
+__all__ = ["ChromeTraceSink", "JsonlSink", "Sink", "SummarySink", "summary_text"]
+
+
+class Sink:
+    """Base sink: all hooks default to no-ops."""
+
+    def on_span(self, span: Span) -> None:
+        """A span finished."""
+
+    def on_event(self, event: Event) -> None:
+        """An event fired."""
+
+    def on_close(self, telemetry: Telemetry) -> None:
+        """The run ended; flush buffered output."""
+
+
+class JsonlSink(Sink):
+    """Writes each record as one JSON line the moment it is produced.
+
+    ``path`` may be a filesystem path (opened and owned by the sink) or
+    an already-open text stream.
+    """
+
+    def __init__(self, path):
+        if hasattr(path, "write"):
+            self._stream: IO = path
+            self._owns = False
+        else:
+            self._stream = open(path, "w")
+            self._owns = True
+
+    def _emit(self, record: dict) -> None:
+        self._stream.write(json.dumps(record) + "\n")
+
+    def on_span(self, span: Span) -> None:
+        record = {"type": "span"}
+        record.update(span.to_dict())
+        self._emit(record)
+
+    def on_event(self, event: Event) -> None:
+        record = {"type": "event"}
+        record.update(event.to_dict())
+        self._emit(record)
+
+    def on_close(self, telemetry: Telemetry) -> None:
+        for name in sorted(telemetry.counters):
+            self._emit(
+                {"type": "counter", "name": name, "value": telemetry.counters[name]}
+            )
+        for name in sorted(telemetry.gauges):
+            self._emit(
+                {"type": "gauge", "name": name, "value": telemetry.gauges[name]}
+            )
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+
+class ChromeTraceSink(Sink):
+    """Buffers the run into one Chrome trace-event JSON document.
+
+    Spans become complete ("X") events, telemetry events become
+    instants ("i"), and counter totals are emitted as one counter ("C")
+    sample at end-of-run, so the viewer's counter track shows the final
+    values.  Timestamps are microseconds on the telemetry clock.
+    """
+
+    PID = 1
+    TID = 1
+
+    def __init__(self, path):
+        self._path = path
+        self._events: List[dict] = []
+
+    def on_span(self, span: Span) -> None:
+        self._events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": self.PID,
+                "tid": self.TID,
+                "args": span.attrs,
+            }
+        )
+
+    def on_event(self, event: Event) -> None:
+        self._events.append(
+            {
+                "name": event.name,
+                "cat": "event",
+                "ph": "i",
+                "ts": event.ts * 1e6,
+                "pid": self.PID,
+                "tid": self.TID,
+                "s": "t",
+                "args": event.attrs,
+            }
+        )
+
+    def on_close(self, telemetry: Telemetry) -> None:
+        end_ts = telemetry.now() * 1e6
+        for name in sorted(telemetry.counters):
+            self._events.append(
+                {
+                    "name": name,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": end_ts,
+                    "pid": self.PID,
+                    "tid": self.TID,
+                    "args": {"value": telemetry.counters[name]},
+                }
+            )
+        # Complete events arrive in close order; viewers want begin order.
+        self._events.sort(key=lambda e: e["ts"])
+        document = {
+            "traceEvents": self._events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs"},
+        }
+        if hasattr(self._path, "write"):
+            json.dump(document, self._path)
+        else:
+            with open(self._path, "w") as handle:
+                json.dump(document, handle)
+
+
+def summary_text(telemetry: Telemetry) -> str:
+    """The human-readable end-of-run summary table."""
+    from repro.report.tables import format_table
+
+    sections: List[str] = []
+    durations = telemetry.phase_durations()
+    if durations:
+        counts = {}
+        for span in telemetry.spans:
+            counts[span.name] = counts.get(span.name, 0) + 1
+        rows = [
+            (name, counts[name], f"{durations[name] * 1e3:.2f}")
+            for name in sorted(durations, key=durations.get, reverse=True)
+        ]
+        sections.append(
+            format_table(
+                ["span", "count", "total ms"], rows, title="telemetry: spans"
+            )
+        )
+    if telemetry.counters:
+        rows = [
+            (name, f"{telemetry.counters[name]:g}")
+            for name in sorted(telemetry.counters)
+        ]
+        sections.append(
+            format_table(["counter", "value"], rows, title="telemetry: counters")
+        )
+    if telemetry.gauges:
+        rows = [
+            (name, f"{telemetry.gauges[name]:g}")
+            for name in sorted(telemetry.gauges)
+        ]
+        sections.append(
+            format_table(["gauge", "value"], rows, title="telemetry: gauges")
+        )
+    if telemetry.events:
+        sections.append(f"telemetry: {len(telemetry.events)} events recorded")
+    return "\n\n".join(sections) if sections else "telemetry: nothing recorded"
+
+
+class SummarySink(Sink):
+    """Prints :func:`summary_text` to ``stream`` when the run closes."""
+
+    def __init__(self, stream: Optional[IO] = None):
+        self._stream = stream
+
+    def on_close(self, telemetry: Telemetry) -> None:
+        import sys
+
+        stream = self._stream or sys.stdout
+        stream.write(summary_text(telemetry) + "\n")

@@ -1,0 +1,299 @@
+"""Compilation telemetry: hierarchical spans, counters, and events.
+
+The instrumentation layer every phase of the SPT pipeline reports
+through.  Three primitives:
+
+* **spans** -- wall-clock timed, named, hierarchically nested scopes
+  (one per pipeline phase, one per analyzed loop, ...), each carrying
+  an attribute dict;
+* **counters / gauges** -- monotonically accumulated totals (search
+  nodes, cost evaluations, interpreter instructions retired) and
+  last-value measurements;
+* **events** -- timestamped structured records (a transform failure, an
+  SPT round's fork/commit/re-execution outcome).
+
+Everything is routed to pluggable :mod:`repro.obs.sinks` and kept
+in-memory for end-of-run reporting (``repro explain``, the summary
+table).
+
+The disabled path is a hard no-op: :data:`NULL_TELEMETRY` is a
+singleton whose ``enabled`` attribute is ``False`` and whose methods do
+nothing, so instrumented code guards any non-trivial work with one
+attribute check::
+
+    if telemetry.enabled:
+        telemetry.count("interp.instructions", machine.executed)
+
+and the common un-observed compilation pays only that check.  Span
+scopes use ``with telemetry.span(...)``; when disabled this yields a
+shared inert context manager without allocating.
+
+Telemetry objects are deliberately not thread-safe: one compilation
+drives one telemetry instance from one thread, matching the pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+]
+
+
+class Span:
+    """One finished (or in-flight) timed scope."""
+
+    __slots__ = ("name", "attrs", "start", "end", "depth", "parent", "span_id")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict] = None,
+        start: float = 0.0,
+        depth: int = 0,
+        parent: Optional[int] = None,
+        span_id: int = 0,
+    ):
+        self.name = name
+        self.attrs = attrs or {}
+        #: Start / end timestamps on the telemetry clock (seconds).
+        self.start = start
+        self.end: Optional[float] = None
+        #: Nesting depth at open time (0 = root).
+        self.depth = depth
+        #: ``span_id`` of the enclosing span, or None.
+        self.parent = parent
+        self.span_id = span_id
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "span_id": self.span_id,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration * 1e3:.2f}ms, depth={self.depth})"
+
+
+class Event:
+    """One timestamped structured record."""
+
+    __slots__ = ("name", "ts", "attrs", "span_id")
+
+    def __init__(self, name: str, ts: float, attrs: Dict, span_id: Optional[int]):
+        self.name = name
+        self.ts = ts
+        self.attrs = attrs
+        #: The span open when the event fired (for trace grouping).
+        self.span_id = span_id
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "ts": self.ts,
+            "span_id": self.span_id,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, {self.attrs})"
+
+
+class _SpanScope:
+    """Context manager closing one span (re-entrant per span only)."""
+
+    __slots__ = ("_telemetry", "span")
+
+    def __init__(self, telemetry: "Telemetry", span: Span):
+        self._telemetry = telemetry
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._telemetry._close_span(self.span)
+        return False
+
+
+class _NullScope:
+    """Shared inert context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class Telemetry:
+    """A live telemetry collector.
+
+    ``detail=True`` additionally opts instrumented components into
+    per-event accounting that is too hot for the default path (the
+    interpreters attach a tracer that counts every delivered hook
+    call); leave it off unless the run exists to be inspected.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable = (), detail: bool = False, clock=None):
+        self.sinks = list(sinks)
+        self.detail = detail
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        self._stack: List[Span] = []
+        self._next_id = 1
+        #: Finished spans, in close order.
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.events: List[Event] = []
+        self._closed = False
+
+    # -- clock ----------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this telemetry object was created."""
+        return self._clock() - self._epoch
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _SpanScope:
+        """Open a nested span: ``with telemetry.span("pass1"): ...``"""
+        span = Span(
+            name,
+            attrs=attrs or None,
+            start=self.now(),
+            depth=len(self._stack),
+            parent=self._stack[-1].span_id if self._stack else None,
+            span_id=self._next_id,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return _SpanScope(self, span)
+
+    def _close_span(self, span: Span) -> None:
+        span.end = self.now()
+        # Tolerate mis-nested exits by popping through to the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self.spans.append(span)
+        for sink in self.sinks:
+            sink.on_span(span)
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- counters / gauges ----------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # -- events ----------------------------------------------------------
+
+    def event(self, name: str, **attrs) -> None:
+        current = self._stack[-1].span_id if self._stack else None
+        event = Event(name, self.now(), attrs, current)
+        self.events.append(event)
+        for sink in self.sinks:
+            sink.on_event(event)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def close(self) -> None:
+        """Close any open spans and flush every sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._stack:
+            self._close_span(self._stack[-1])
+        for sink in self.sinks:
+            sink.on_close(self)
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- introspection helpers -------------------------------------------
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Total seconds per span name (the summary table's rows)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+
+class NullTelemetry:
+    """The no-op telemetry every un-observed compilation runs with."""
+
+    enabled = False
+    detail = False
+    sinks: tuple = ()
+    spans: tuple = ()
+    events: tuple = ()
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+
+    def span(self, name: str, **attrs) -> _NullScope:
+        return _NULL_SCOPE
+
+    def count(self, name: str, n: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NullTelemetry()"
+
+
+#: Shared disabled singleton; ``telemetry or NULL_TELEMETRY`` is the
+#: canonical default for optional telemetry parameters.
+NULL_TELEMETRY = NullTelemetry()

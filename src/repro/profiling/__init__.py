@@ -8,6 +8,7 @@ from repro.profiling.interp import (
     InterpError,
     Machine,
     Tracer,
+    TracerEventCounter,
     run_module,
 )
 from repro.profiling.value_profile import ValuePattern, ValueProfile
@@ -21,6 +22,7 @@ __all__ = [
     "LoopDepView",
     "Machine",
     "Tracer",
+    "TracerEventCounter",
     "ValuePattern",
     "ValueProfile",
     "make_machine",

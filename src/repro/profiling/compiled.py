@@ -647,17 +647,18 @@ class CompiledMachine(Machine):
     invoked, so modules mutated between runs are always re-lowered.
     """
 
-    def __init__(self, module: Module, fuel: int = 50_000_000):
-        super().__init__(module, fuel=fuel)
+    def __init__(self, module: Module, fuel: int = 50_000_000, telemetry=None):
+        super().__init__(module, fuel=fuel, telemetry=telemetry)
         self._hooks: Optional[_Hooks] = None
         self._code: Dict[str, _CompiledFunction] = {}
 
-    def run(self, func_name: str, args: List = ()) -> object:
-        # Specialize for the tracers attached *now*; invalidate any
+    def _execute(self, func_name: str, args: List) -> object:
+        # Specialize for the tracers attached *now* (including any
+        # telemetry detail tracer Machine.run just added); invalidate
         # code compiled for a previous run (or a mutated module).
         self._hooks = _Hooks(self.tracers)
         self._code = {}
-        return super().run(func_name, args)
+        return super()._execute(func_name, args)
 
     def _call_function(self, func: Function, args: List):
         if self._hooks is None:
@@ -670,9 +671,9 @@ class CompiledMachine(Machine):
 
 
 def make_machine(
-    module: Module, fuel: int = 50_000_000, fast: bool = True
+    module: Module, fuel: int = 50_000_000, fast: bool = True, telemetry=None
 ) -> Machine:
     """Build the fast machine, or the reference one with ``fast=False``."""
     if fast:
-        return CompiledMachine(module, fuel=fuel)
-    return Machine(module, fuel=fuel)
+        return CompiledMachine(module, fuel=fuel, telemetry=telemetry)
+    return Machine(module, fuel=fuel, telemetry=telemetry)

@@ -1,0 +1,158 @@
+"""Decision-provenance reports: why each loop was (not) selected.
+
+Backs the ``repro explain`` CLI command.  For every loop candidate the
+report reconstructs the §6.1 selection decision from recorded evidence:
+the measured value and threshold of the failed criterion, the optimal
+partition's cost breakdown per violation candidate, the pre-fork region
+contents, the branch-and-bound pruning statistics, and any transform
+failure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SptConfig
+from repro.core.pipeline import CompilationResult
+from repro.core.selection import (
+    CATEGORY_VALID,
+    LoopCandidate,
+    estimated_benefit,
+)
+from repro.ir.printer import format_instr
+
+__all__ = ["explain_loop_text", "explain_text"]
+
+
+def _describe_instr(instr) -> str:
+    try:
+        return format_instr(instr)
+    except Exception:
+        return repr(instr)
+
+
+def explain_loop_text(
+    candidate: LoopCandidate, config: SptConfig, verbose: bool = True
+) -> str:
+    """The provenance report for one loop candidate."""
+    lines: List[str] = []
+    verdict = "SELECTED" if candidate.selected else "rejected"
+    lines.append(f"loop {candidate.key} — {candidate.category} ({verdict})")
+
+    lines.append(
+        f"  body size      {candidate.dynamic_body_size:10.2f} ops/iter"
+        f"   (selectable range [{config.min_body_size}, "
+        f"{config.max_body_size}])"
+    )
+    lines.append(
+        f"  trip count     {candidate.trip_count:10.2f} iter/entry"
+        f"   (minimum {config.min_trip_count:g})"
+    )
+    lines.append(
+        f"  iterations     {candidate.total_iterations:10d} profiled"
+    )
+    if candidate.svp_applied:
+        lines.append("  svp            applied (loop re-analyzed after SVP)")
+
+    partition = candidate.partition
+    if partition is not None and not partition.skipped_too_many_vcs:
+        size = candidate.dynamic_body_size
+        lines.append(
+            f"  misspec cost   {partition.cost:10.4f}"
+            f"   (threshold {config.cost_threshold(size):.4f}"
+            f" = {config.cost_fraction:g} × body size)"
+        )
+        lines.append(
+            f"  prefork size   {partition.prefork_size:10.2f}"
+            f"   (threshold {config.prefork_size_threshold(size):.2f}"
+            f" = {config.prefork_fraction:g} × body size)"
+        )
+        lines.append(
+            "  search         "
+            f"{partition.search_nodes} nodes, "
+            f"{partition.evaluations} cost evaluations "
+            f"({partition.cache_hit_rate:.0%} cache hits), "
+            f"{partition.cost_node_visits} node visits"
+        )
+        lines.append(
+            "  pruning        "
+            f"{partition.pruned_size} subtrees cut by size bound, "
+            f"{partition.pruned_bound} by cost lower bound"
+        )
+        if partition.vc_breakdown:
+            lines.append(
+                f"  violation candidates ({len(partition.vc_breakdown)}):"
+            )
+            for vc, in_prefork, marginal in partition.vc_breakdown:
+                placement = "pre-fork " if in_prefork else "post-fork"
+                impact = (
+                    f"evicting costs +{marginal:.4f}"
+                    if in_prefork
+                    else f"admitting saves {marginal:.4f}"
+                )
+                lines.append(
+                    f"    [{placement}] p_violate={vc.violation_prob:.3f}"
+                    f"  {impact}   {_describe_instr(vc.instr)}"
+                )
+        if verbose and partition.prefork_stmts:
+            lines.append(
+                f"  prefork region ({len(partition.prefork_stmts)} statements):"
+            )
+            for instr in sorted(
+                partition.prefork_stmts, key=lambda i: _describe_instr(i)
+            ):
+                lines.append(f"    {_describe_instr(instr)}")
+    elif partition is not None:
+        lines.append(
+            f"  partition      skipped: {len(partition.candidates)} violation"
+            f" candidates exceed the limit of"
+            f" {config.max_violation_candidates} (§5.2)"
+        )
+
+    if candidate.category == CATEGORY_VALID or candidate.selected:
+        benefit = estimated_benefit(candidate, config)
+        lines.append(
+            f"  est. benefit   {benefit:10.1f} cycles saved over the run"
+        )
+    if candidate.rejection is not None:
+        lines.append(f"  rejection      {candidate.rejection}")
+    if candidate.transform_error is not None:
+        lines.append(f"  transform err  {candidate.transform_error}")
+    verdict_line = (
+        "selected as SPT loop and transformed"
+        if candidate.selected
+        else f"not selected ({candidate.category})"
+    )
+    lines.append(f"  verdict        {verdict_line}")
+    return "\n".join(lines)
+
+
+def explain_text(
+    result: CompilationResult,
+    config: SptConfig,
+    loop: Optional[str] = None,
+    verbose: bool = True,
+) -> str:
+    """Provenance reports for every candidate (or just ``loop``,
+    given as ``func:header``)."""
+    candidates = result.candidates
+    if loop is not None:
+        candidates = [c for c in candidates if c.key == loop]
+        if not candidates:
+            known = ", ".join(c.key for c in result.candidates) or "<none>"
+            return f"no loop candidate {loop!r} (known: {known})"
+    sections = [
+        explain_loop_text(candidate, config, verbose=verbose)
+        for candidate in candidates
+    ]
+    histogram = result.category_histogram()
+    summary = ", ".join(
+        f"{category}={count}"
+        for category, count in histogram.items()
+        if count
+    )
+    header = (
+        f"{len(result.candidates)} loop candidates, "
+        f"{len(result.selected)} selected  [{summary}]"
+    )
+    return "\n\n".join([header] + sections)

@@ -110,9 +110,59 @@ def test_simulate(minic_file, capsys):
         assert "no SPT loops" in out
 
 
+def test_simulate_selects_and_reports_speedup(minic_file, capsys):
+    """With a big enough workload the demo loop is selected, and the
+    machine model prints per-loop and whole-program speedups."""
+    assert main(
+        ["simulate", minic_file, "--args", "600", "--train-args", "200"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "result:" in out
+    assert "single-core cycles:" in out
+    assert "speedup" in out
+    assert "program SPT cycles:" in out
+
+
+def test_simulate_exit_code_when_nothing_selected(ir_file, capsys):
+    """The tiny IR loop falls below the body-size floor: simulate must
+    say so and exit non-zero."""
+    assert main(["simulate", ir_file, "--args", "4"]) == 1
+    assert "no SPT loops" in capsys.readouterr().out
+
+
 def test_report_rejects_unknown_target(capsys):
     assert main(["report", "figNOPE"]) == 2
     assert "unknown report target" in capsys.readouterr().err
+
+
+def test_report_runs_requested_targets(monkeypatch, capsys):
+    """`repro report` dispatches to the named generators in order.
+
+    The real generators run the full benchmark suite (minutes), so they
+    are stubbed; dispatch, ordering and output plumbing are what this
+    exercises.
+    """
+    import repro.report as report_mod
+
+    for name in (
+        "table1_text", "figure14_text", "figure15_text", "figure16_text",
+        "figure17_text", "figure18_text", "figure19_text",
+    ):
+        tag = name.replace("_text", "").replace("figure", "fig")
+        monkeypatch.setattr(
+            report_mod, name, lambda tag=tag: f"<{tag} output>"
+        )
+    assert main(["report", "fig15", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "<fig15 output>" in out
+    assert "<table1 output>" in out
+    assert out.index("<fig15 output>") < out.index("<table1 output>")
+    assert "<fig14 output>" not in out
+
+    assert main(["report"]) == 0  # no targets = all of them
+    out = capsys.readouterr().out
+    for tag in ("table1", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19"):
+        assert f"<{tag} output>" in out
 
 
 def test_dot_subcommand(minic_file, capsys):
@@ -161,3 +211,68 @@ def test_fast_path_opt_out_flags(minic_file, capsys):
 def test_compile_accepts_opt_out_flags(minic_file, capsys):
     assert main(["compile", minic_file, "--args", "64", "--no-fast-interp"]) == 0
     assert "loop candidates" in capsys.readouterr().out
+
+
+def test_compile_trace_out_is_valid_chrome_trace(minic_file, tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    assert main(
+        ["compile", minic_file, "--args", "200", "--trace-out", str(trace)]
+    ) == 0
+    capsys.readouterr()
+    document = json.loads(trace.read_text())
+    names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+    assert {"unroll", "ssa", "profile", "pass1", "selection", "transform"} <= names
+
+
+def test_compile_log_out_and_summary(minic_file, tmp_path, capsys):
+    import json
+
+    log = tmp_path / "run.jsonl"
+    assert main(
+        [
+            "compile", minic_file, "--args", "200",
+            "--log-out", str(log), "--obs-summary",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "telemetry: spans" in out
+    assert "telemetry: counters" in out
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    assert {"span", "counter"} <= {r["type"] for r in records}
+
+
+def test_simulate_log_out_records_spt_rounds(minic_file, tmp_path, capsys):
+    import json
+
+    log = tmp_path / "sim.jsonl"
+    code = main(
+        [
+            "simulate", minic_file, "--args", "600", "--train-args", "200",
+            "--log-out", str(log),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    rounds = [
+        r for r in records if r["type"] == "event" and r["name"] == "spt.round"
+    ]
+    assert rounds
+    assert {"loop", "round", "committed", "reexec_ops"} <= set(rounds[0]["attrs"])
+
+
+def test_explain_reports_rejection_criteria(minic_file, capsys):
+    assert main(["explain", minic_file, "--args", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "loop candidates" in out
+    assert "verdict" in out
+    # At least one loop is explained with body size and thresholds.
+    assert "body size" in out
+    assert "selectable range" in out
+
+
+def test_explain_loop_filter_and_unknown_loop(minic_file, capsys):
+    assert main(["explain", minic_file, "--args", "200", "--loop", "zz:nope"]) == 0
+    assert "no loop candidate" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Telemetry core: spans, counters, gauges, events, null object."""
+
+from repro.obs import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+
+class FakeClock:
+    """Deterministic clock; advance() moves time forward."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_telemetry(**kwargs):
+    clock = FakeClock()
+    return Telemetry(clock=clock, **kwargs), clock
+
+
+def test_span_records_duration_and_name():
+    telemetry, clock = make_telemetry()
+    with telemetry.span("phase", kind="test"):
+        clock.advance(0.25)
+    (span,) = telemetry.spans
+    assert span.name == "phase"
+    assert span.duration == 0.25
+    assert span.attrs == {"kind": "test"}
+    assert span.depth == 0
+    assert span.parent is None
+
+
+def test_spans_nest_with_parent_links():
+    telemetry, clock = make_telemetry()
+    with telemetry.span("outer") as outer:
+        clock.advance(0.1)
+        with telemetry.span("inner") as inner:
+            clock.advance(0.1)
+        with telemetry.span("inner") as inner2:
+            clock.advance(0.1)
+    assert inner.parent == outer.span_id
+    assert inner2.parent == outer.span_id
+    assert inner.depth == 1 and outer.depth == 0
+    assert inner.span_id != inner2.span_id
+    # Children close before the parent.
+    assert [s.name for s in telemetry.spans] == ["inner", "inner", "outer"]
+    # The parent's interval covers each child's.
+    outer_span = telemetry.spans_named("outer")[0]
+    for child in telemetry.spans_named("inner"):
+        assert outer_span.start <= child.start
+        assert child.end <= outer_span.end
+
+
+def test_counters_accumulate_and_gauges_overwrite():
+    telemetry, _ = make_telemetry()
+    telemetry.count("hits")
+    telemetry.count("hits", 4)
+    telemetry.gauge("fuel", 100)
+    telemetry.gauge("fuel", 7)
+    assert telemetry.counters["hits"] == 5
+    assert telemetry.gauges["fuel"] == 7
+
+
+def test_event_is_associated_with_open_span():
+    telemetry, _ = make_telemetry()
+    with telemetry.span("work") as span:
+        telemetry.event("tick", n=1)
+    telemetry.event("tock")
+    tick, tock = telemetry.events
+    assert tick.span_id == span.span_id
+    assert tick.attrs == {"n": 1}
+    assert tock.span_id is None
+
+
+def test_close_finishes_open_spans_and_is_idempotent():
+    closes = []
+
+    class Probe:
+        def on_span(self, span):
+            pass
+
+        def on_event(self, event):
+            pass
+
+        def on_close(self, telemetry):
+            closes.append(telemetry)
+
+    clock = FakeClock()
+    telemetry = Telemetry(sinks=[Probe()], clock=clock)
+    telemetry.span("left-open")  # never exited
+    telemetry.close()
+    telemetry.close()
+    assert closes == [telemetry]
+    assert telemetry.spans_named("left-open")[0].end is not None
+
+
+def test_context_manager_closes():
+    clock = FakeClock()
+    with Telemetry(clock=clock) as telemetry:
+        with telemetry.span("p"):
+            clock.advance(1.0)
+    assert telemetry.phase_durations() == {"p": 1.0}
+
+
+def test_sinks_see_spans_and_events_in_order():
+    seen = []
+
+    class Probe:
+        def on_span(self, span):
+            seen.append(("span", span.name))
+
+        def on_event(self, event):
+            seen.append(("event", event.name))
+
+        def on_close(self, telemetry):
+            seen.append(("close", None))
+
+    telemetry = Telemetry(sinks=[Probe()], clock=FakeClock())
+    with telemetry.span("a"):
+        telemetry.event("e")
+    telemetry.close()
+    assert seen == [("event", "e"), ("span", "a"), ("close", None)]
+
+
+def test_null_telemetry_is_inert():
+    assert NULL_TELEMETRY.enabled is False
+    assert NULL_TELEMETRY.detail is False
+    with NULL_TELEMETRY.span("anything", x=1) as span:
+        assert span is None
+    NULL_TELEMETRY.count("c")
+    NULL_TELEMETRY.gauge("g", 1)
+    NULL_TELEMETRY.event("e", y=2)
+    NULL_TELEMETRY.close()
+    assert NULL_TELEMETRY.counters == {}
+    assert NULL_TELEMETRY.spans == ()
+    assert isinstance(NULL_TELEMETRY, NullTelemetry)
+
+
+def test_phase_durations_sums_spans_of_same_name():
+    telemetry, clock = make_telemetry()
+    for _ in range(3):
+        with telemetry.span("loop"):
+            clock.advance(0.5)
+    assert telemetry.phase_durations() == {"loop": 1.5}
