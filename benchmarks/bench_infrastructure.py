@@ -5,8 +5,9 @@ These are pytest-benchmark timings (multiple rounds) rather than
 one-shot experiment reproductions.
 """
 
-import random
 import time
+
+from conftest import bench_rng
 
 from repro.analysis.cfg import CFG
 from repro.analysis.depgraph import build_dep_graph
@@ -162,8 +163,8 @@ def test_noop_telemetry_overhead():
     assert overhead < 0.05
 
 
-def _random_cost_graph(n_vcs: int, n_ops: int, seed: int = 1234) -> CostGraph:
-    rng = random.Random(seed)
+def _random_cost_graph(n_vcs: int, n_ops: int) -> CostGraph:
+    rng = bench_rng("cost-graph", n_vcs, n_ops)
     cg = CostGraph()
     vcs = [f"vc{i}" for i in range(n_vcs)]
     ops = [f"op{i}" for i in range(n_ops)]

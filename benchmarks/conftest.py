@@ -12,7 +12,37 @@ written to ``benchmarks/results/<name>.txt``.
 
 import os
 
+import pytest
+
+from repro.testkit.seeding import base_seed, derive_rng, derive_seed
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+# -- seeding -----------------------------------------------------------------
+#
+# Benchmarks share the fuzzing subsystem's RNG convention
+# (repro.testkit.seeding): every random stream is a *private*
+# ``random.Random`` derived from ``(REPRO_TEST_SEED, *labels)``, never
+# the global ``random`` module.  That keeps results reproducible under
+# ``pytest -p no:randomly`` (or with pytest-randomly's reordering and
+# global reseeding enabled -- nothing here reads global RNG state) and
+# lets one environment variable re-seed benchmarks and fuzz runs alike.
+
+def bench_rng(*labels):
+    """A private RNG for the benchmark stream named by ``labels``."""
+    return derive_rng(base_seed(), "bench", *labels)
+
+
+def bench_seed(*labels) -> int:
+    """A derived integer seed for APIs that take seeds, not RNGs."""
+    return derive_seed(base_seed(), "bench", *labels)
+
+
+@pytest.fixture
+def rng(request):
+    """Per-test private RNG, derived from the test's own node id."""
+    return bench_rng(request.node.nodeid)
 
 
 def emit(name: str, text: str) -> None:

@@ -32,9 +32,14 @@ class BodyControlDeps:
         #: label's execution depends on.
         self.deps = deps
 
-    def controlling_branches(self, label: str) -> Set[str]:
-        """Blocks whose branch decides whether ``label`` executes."""
-        return {branch for branch, _ in self.deps.get(label, ())}
+    def controlling_branches(self, label: str) -> List[str]:
+        """Blocks whose branch decides whether ``label`` executes.
+
+        Sorted: callers iterate this while building dependence edges,
+        and set order would vary per process (PYTHONHASHSEED), making
+        the same seed mean a different analysis in every run.
+        """
+        return sorted({branch for branch, _ in self.deps.get(label, ())})
 
     def is_conditional(self, label: str) -> bool:
         """Whether ``label`` executes only on some iterations."""

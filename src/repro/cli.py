@@ -328,6 +328,73 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testkit import (
+        ORACLE_NAMES,
+        base_seed,
+        load_corpus,
+        replay_entry,
+        run_campaign,
+        save_reproducer,
+    )
+
+    oracles = None
+    if args.oracle:
+        oracles = sorted(set(args.oracle))
+        unknown = [name for name in oracles if name not in ORACLE_NAMES]
+        if unknown:
+            print(
+                f"unknown oracle(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(ORACLE_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    telemetry = _telemetry_from_args(args)
+    seed = args.seed if args.seed is not None else base_seed()
+
+    failed = False
+    if args.corpus_dir and not args.skip_corpus_replay:
+        entries = load_corpus(args.corpus_dir)
+        for entry in entries:
+            detail = replay_entry(entry)
+            if detail is not None:
+                failed = True
+                print(f"corpus regression {entry.name}: {detail}")
+        if entries:
+            print(f"corpus: {len(entries)} reproducer(s) replayed")
+
+    campaign_kwargs = {}
+    if telemetry is not None:
+        campaign_kwargs["telemetry"] = telemetry
+    report = run_campaign(
+        seed,
+        args.iterations,
+        oracles=oracles,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        **campaign_kwargs,
+    )
+    for line in report.summary_lines():
+        print(line)
+    for failure in report.failures:
+        print()
+        print(
+            f"FAILURE oracle={failure.oracle} seed={failure.seed} "
+            f"iteration={failure.iteration}"
+        )
+        print(f"  {failure.detail}")
+        if args.corpus_dir:
+            path = save_reproducer(args.corpus_dir, failure)
+            print(f"  reproducer written to {path}")
+        else:
+            print("  minimized program:")
+            for line in failure.reproducer.source().splitlines():
+                print(f"    {line}")
+    _finish_telemetry(telemetry, args)
+    return 1 if (failed or report.failures) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -440,6 +507,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_config_options(summary_p)
     add_obs_options(summary_p)
     summary_p.set_defaults(fn=cmd_summary)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs vs the oracle battery",
+    )
+    fuzz_p.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign base seed (default: $REPRO_TEST_SEED or 0)",
+    )
+    fuzz_p.add_argument(
+        "--iterations", type=int, default=100,
+        help="number of generated programs (default 100)",
+    )
+    fuzz_p.add_argument(
+        "--oracle", action="append", default=None, metavar="NAME",
+        help="restrict to one oracle (repeatable): "
+             "interp, cost, partition, spt",
+    )
+    fuzz_p.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="replay this regression corpus first, and write minimized "
+             "reproducers for new failures into it",
+    )
+    fuzz_p.add_argument(
+        "--skip-corpus-replay", action="store_true",
+        help="with --corpus-dir, only write new reproducers",
+    )
+    fuzz_p.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without delta-debugging them first",
+    )
+    fuzz_p.add_argument(
+        "--max-failures", type=int, default=1,
+        help="stop after this many failures (0 = run the full campaign)",
+    )
+    add_obs_options(fuzz_p)
+    fuzz_p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

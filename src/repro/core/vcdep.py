@@ -74,12 +74,17 @@ def closure_size(graph: LoopDepGraph, closure: Iterable[Instr]) -> float:
     Weighted by reaching probability so a rarely executed conditional
     statement contributes its expected (dynamic) size.
     """
-    total = 0.0
+    # Sum in topological order: float addition is not associative, and
+    # ``closure`` is a set whose iteration order varies per process, so
+    # an unordered sum could flip partition decisions that sit within
+    # the search's 1e-12 tie tolerance from one run to the next.
+    terms = []
     for instr in closure:
         info = graph.info.get(instr)
         reach = info.reach if info is not None else 1.0
-        total += instr.cost * reach
-    return total
+        order = info.order if info is not None else -1
+        terms.append((order, instr.cost * reach))
+    return sum(term for _, term in sorted(terms))
 
 
 class VCDepGraph:

@@ -467,13 +467,19 @@ def _replay_speculative(
                     tainted_addrs.add(addr)
                     clean_addrs.discard(addr)
         else:
+            # A clean redefinition heals the location: later readers
+            # observe a correct value even if an earlier op this
+            # iteration tainted it.
             if op.def_name is not None:
                 clean_regs.add(op.def_name)
+                tainted_regs.discard(op.def_name)
             if op.store_addr is not None:
                 clean_addrs.add(op.store_addr)
+                tainted_addrs.discard(op.store_addr)
             if op.mem_writes:
                 for addr in op.mem_writes:
                     clean_addrs.add(addr)
+                    tainted_addrs.discard(addr)
     return reexec_cycles, reexec_ops
 
 

@@ -1,0 +1,48 @@
+"""Hypothesis strategies over the testkit generator.
+
+Registers the seeded program generator as ordinary Hypothesis
+strategies, so property tests draw whole MiniC programs (or compiled
+modules) and get Hypothesis's example database and shrinking of the
+*seed* for free, while the heavyweight structural shrinking stays in
+:mod:`repro.testkit.shrink`.
+
+Import is lazy-safe: this module imports ``hypothesis`` at module load,
+so test files that need it should guard with
+``pytest.importorskip("hypothesis")`` first if the environment may lack
+it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from .generator import GenConfig, ProgramSpec, generate_program, random_gen_config
+from .seeding import derive_rng
+
+__all__ = ["gen_configs", "minic_programs", "minic_sources", "program_seeds"]
+
+
+def program_seeds() -> st.SearchStrategy[int]:
+    """Seeds for :func:`derive_rng`; small ints shrink nicely."""
+    return st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def gen_configs() -> "st.SearchStrategy[GenConfig]":
+    """Generator configurations drawn through the shared convention."""
+    return program_seeds().map(
+        lambda seed: random_gen_config(derive_rng("hypothesis-config", seed))
+    )
+
+
+@st.composite
+def minic_programs(draw, config: GenConfig = None) -> ProgramSpec:
+    """Whole generated programs as :class:`ProgramSpec` values."""
+    seed = draw(program_seeds())
+    rng = derive_rng("hypothesis-program", seed)
+    chosen = config or random_gen_config(rng)
+    return generate_program(rng, chosen)
+
+
+def minic_sources(config: GenConfig = None) -> "st.SearchStrategy[str]":
+    """Generated programs rendered to MiniC source text."""
+    return minic_programs(config=config).map(lambda spec: spec.source())

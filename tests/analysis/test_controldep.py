@@ -44,8 +44,8 @@ def test_unconditional_blocks_have_no_deps():
     func, loop = _loop_and_func()
     deps = compute_control_deps(func, loop)
     # body and latch run every iteration (modulo the header test).
-    assert deps.controlling_branches("latch") <= {"head"}
-    assert deps.controlling_branches("body") <= {"head"}
+    assert set(deps.controlling_branches("latch")) <= {"head"}
+    assert set(deps.controlling_branches("body")) <= {"head"}
 
 
 def test_nested_control_dependences():

@@ -1,0 +1,214 @@
+"""One test per §6.1 rejection criterion.
+
+Each test drives the full two-pass pipeline into a specific
+:class:`~repro.core.selection.RejectionReason` and asserts that the
+measured value and the threshold it was held against serialize through
+``CompilationResult.to_dict()`` -- the contract the observability layer
+and `repro explain` rely on to reconstruct a decision from the report
+alone.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SptConfig
+from repro.core.pipeline import Workload, compile_spt
+from repro.core.transform import TransformError
+from repro.frontend import compile_minic
+
+#: Loop with genuine cross-iteration dependences (load-after-store on
+#: ``data`` plus the ``s`` recurrence) -- cost and prefork are nonzero.
+BASE = """
+global int data[64] aliased;
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = (i * 37) & 63;
+        data[x] = data[(x + 1) & 63] + s;
+        s = (s + data[x]) & 65535;
+    }
+    return s & 1048575;
+}
+"""
+
+#: Independent iterations in a two-deep nest: both levels pass every
+#: per-loop criterion, so they collide on the single speculative core.
+NEST = """
+global int data[256] aliased;
+
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 16; j++) {
+            int x = (i * 16 + j) & 255;
+            data[x] = (x * 7 + j) & 65535;
+            data[(x + 128) & 255] = (x * 3) & 65535;
+        }
+    }
+    return data[0] & 1048575;
+}
+"""
+
+#: The cross-iteration work hides behind a rarely-taken guard: the
+#: *static* pre-fork region needed to hoist it is large relative to the
+#: small *dynamic* body size the selection criteria are measured in.
+GUARDED = """
+global int data[64] aliased;
+
+int main(int n) {
+    int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+    for (int i = 0; i < n; i++) {
+        data[i & 63] = (i * 5) & 65535;
+        if ((i & 127) == 127) {
+            s0 = (s0 + data[(i + 1) & 63] * 3 + 7) & 65535;
+            s1 = (s1 + s0 * 5 + data[(i + 2) & 63]) & 65535;
+            s2 = (s2 + s1 * 7 + data[(i + 3) & 63]) & 65535;
+            s3 = (s3 + s2 * 9 + data[(i + 4) & 63]) & 65535;
+        }
+    }
+    return (s0 + s1 + s2 + s3) & 1048575;
+}
+"""
+
+#: Mid-body exit: not transformable into SPT form.
+BREAKY = """
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s = (s + i * 3) & 65535;
+        if (s > 60000) { break; }
+    }
+    return s & 1048575;
+}
+"""
+
+
+def _reject(source, n=40, **overrides):
+    """Compile, return the to_dict() entries that carry a rejection."""
+    module = compile_minic(source)
+    config = SptConfig(enable_unrolling=False).with_overrides(**overrides)
+    result = compile_spt(module, config, Workload(args=(n,)))
+    report = result.to_dict()
+    json.dumps(report)  # the whole report must be JSON-serializable
+    return [e for e in report["candidates"] if "rejection" in e]
+
+
+def _sole(entries, criterion):
+    matching = [e for e in entries if e["rejection"]["criterion"] == criterion]
+    assert matching, f"no {criterion} rejection in {entries}"
+    return matching[0]["rejection"], matching[0]
+
+
+def test_transformable_rejection_carries_detail():
+    entry, candidate = _sole(_reject(BREAKY), "transformable")
+    assert candidate["category"] == "irregular_control_flow"
+    assert "exit" in entry["detail"]
+    # No numeric comparison exists for this criterion.
+    assert "measured" not in entry and "threshold" not in entry
+    assert "transform_error" in candidate
+
+
+def test_max_violation_candidates_rejection():
+    entry, candidate = _sole(
+        _reject(BASE, max_violation_candidates=1), "max_violation_candidates"
+    )
+    assert candidate["category"] == "too_many_vcs"
+    assert entry["threshold"] == 1.0
+    assert entry["measured"] > entry["threshold"]
+
+
+def test_min_body_size_rejection():
+    entry, candidate = _sole(
+        _reject(BASE, min_body_size=10_000, max_body_size=20_000),
+        "min_body_size",
+    )
+    assert candidate["category"] == "body_too_small"
+    assert entry["threshold"] == 10_000.0
+    assert 0 < entry["measured"] < entry["threshold"]
+    assert entry["measured"] == pytest.approx(
+        candidate["dynamic_body_size"], abs=0.01
+    )
+
+
+def test_max_body_size_rejection():
+    entry, candidate = _sole(
+        _reject(BASE, min_body_size=0, max_body_size=1), "max_body_size"
+    )
+    assert candidate["category"] == "body_too_large"
+    assert entry["threshold"] == 1.0
+    assert entry["measured"] > entry["threshold"]
+
+
+def test_min_trip_count_rejection():
+    entry, candidate = _sole(
+        _reject(BASE, min_trip_count=1e6), "min_trip_count"
+    )
+    assert candidate["category"] == "low_trip_count"
+    assert entry["threshold"] == 1e6
+    assert entry["measured"] < entry["threshold"]
+    assert entry["measured"] == pytest.approx(candidate["trip_count"], abs=0.01)
+
+
+def test_cost_threshold_rejection():
+    entry, candidate = _sole(_reject(BASE), "cost_threshold")
+    assert candidate["category"] == "high_cost"
+    assert entry["measured"] > entry["threshold"]
+    # The measured value is the optimal partition's misspeculation cost.
+    assert entry["measured"] == candidate["misspeculation_cost"]
+    # Criterion 1: threshold = cost_fraction * dynamic body size.
+    assert entry["threshold"] == pytest.approx(
+        SptConfig().cost_fraction * candidate["dynamic_body_size"], rel=1e-3
+    )
+
+
+def test_prefork_threshold_rejection():
+    entry, candidate = _sole(
+        _reject(GUARDED, n=100, cost_fraction=1000.0, min_body_size=2),
+        "prefork_threshold",
+    )
+    assert candidate["category"] == "high_cost"
+    assert entry["measured"] > entry["threshold"]
+    assert entry["measured"] == pytest.approx(
+        candidate["prefork_size"], rel=1e-3
+    )
+
+
+def test_estimated_benefit_rejection():
+    entry, candidate = _sole(
+        _reject(BASE, cost_fraction=100.0, selection_margin=1e-4),
+        "estimated_benefit",
+    )
+    assert candidate["category"] == "no_estimated_benefit"
+    assert entry["threshold"] == 0.0
+    assert entry["measured"] <= 0.0
+
+
+def test_nest_conflict_rejection():
+    entries = _reject(
+        NEST, n=64, cost_fraction=100.0, selection_margin=10.0,
+        min_body_size=2, fork_overhead_cycles=0.0, commit_overhead_cycles=0.0,
+    )
+    entry, candidate = _sole(entries, "nest_conflict")
+    assert candidate["category"] == "nest_conflict"
+    # measured = this loop's benefit, threshold = the winning rival's.
+    assert entry["measured"] <= entry["threshold"]
+    assert "outranked by" in entry["detail"]
+
+
+def test_transform_error_rejection(monkeypatch):
+    """A loop that passes selection but fails the pass-2 transform must
+    surface the error as a rejection in the report."""
+    from repro.core import pipeline as pipeline_mod
+
+    def explode(module, func, loop, partition, graph):
+        raise TransformError(f"synthetic failure in {loop.header}")
+
+    monkeypatch.setattr(pipeline_mod, "transform_loop", explode)
+    entries = _reject(
+        NEST, n=64, cost_fraction=100.0, selection_margin=10.0,
+        min_body_size=2, fork_overhead_cycles=0.0, commit_overhead_cycles=0.0,
+    )
+    entry, candidate = _sole(entries, "transform_error")
+    assert "synthetic failure" in entry["detail"]
+    assert candidate["transform_error"] == entry["detail"]

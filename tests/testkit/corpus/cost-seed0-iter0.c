@@ -1,0 +1,10 @@
+// repro-fuzz reproducer
+// oracle: cost
+// seed: 0
+// iteration: 0
+// detail: main:for_head step 0: cost 0.0 (full) != 1.0 (incremental), |prefork|=1
+int main(int n) {
+    for (int i2 = 0; i2 < 0; i2++) {
+    }
+    return (0) & 1048575;
+}

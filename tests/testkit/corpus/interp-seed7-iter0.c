@@ -1,0 +1,8 @@
+// repro-fuzz reproducer
+// oracle: interp
+// seed: 7
+// iteration: 0
+// detail: n=33: result mismatch (reference 0, compiled 1)
+int main(int n) {
+    return (0) & 1048575;
+}

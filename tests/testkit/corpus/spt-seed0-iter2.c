@@ -1,0 +1,17 @@
+// repro-fuzz reproducer
+// oracle: spt
+// seed: 0
+// iteration: 2
+// detail: [stress] main:for_head3: misspeculation replay disagrees at round 0: library (131.9, 177) vs independent (129.55, 173) -- sticky taint: _replay_speculative never cleared tainted_regs on a clean redefinition
+global int C[128];
+
+int main(int n) {
+    int s0 = 3;
+    for (int i6 = 0; i6 < 5; i6++) {
+        for (int i7 = 0; i7 < 4; i7++) {
+            s0 = (0) & 65535;
+        }
+        C[(s0) & 127] = (0) & 65535;
+    }
+    return (s0) & 1048575;
+}

@@ -1,0 +1,10 @@
+// repro-fuzz reproducer
+// oracle: spt
+// seed: 3
+// iteration: 0
+// detail: [stress] main:for_head: misspeculation replay disagrees at round 0: library (0.0, 0) vs independent (1.0499999999999998, 4)
+int main(int n) {
+    for (int i2 = 0; i2 < n; i2++) {
+    }
+    return (0) & 1048575;
+}

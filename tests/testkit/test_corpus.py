@@ -1,0 +1,101 @@
+"""Corpus round-trip tests plus replay of the checked-in reproducers."""
+
+import os
+
+import pytest
+
+from repro.testkit import (
+    FuzzFailure,
+    derive_rng,
+    generate_program,
+    load_corpus,
+    random_gen_config,
+    replay_entry,
+    run_campaign,
+    save_reproducer,
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _spec_for(seed):
+    rng = derive_rng("test-corpus", seed)
+    return generate_program(rng, random_gen_config(rng))
+
+
+def test_save_load_roundtrip(tmp_path):
+    spec = _spec_for(0)
+    failure = FuzzFailure(
+        seed=99, iteration=4, oracle="interp",
+        detail="synthetic detail for the round-trip", spec=spec,
+    )
+    path = save_reproducer(str(tmp_path), failure)
+    entries = load_corpus(str(tmp_path))
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry.path == path
+    assert (entry.oracle, entry.seed, entry.iteration) == ("interp", 99, 4)
+    assert entry.source == spec.source()
+    assert "round-trip" in entry.detail
+
+
+def test_save_prefers_minimized_program(tmp_path):
+    spec = _spec_for(1)
+    shrunk = spec.clone()
+    shrunk.body = shrunk.body[:1]
+    failure = FuzzFailure(
+        seed=1, iteration=0, oracle="cost", detail="d", spec=spec,
+        shrunk=shrunk, shrunk_detail="d",
+    )
+    save_reproducer(str(tmp_path), failure)
+    (entry,) = load_corpus(str(tmp_path))
+    assert entry.source == shrunk.source()
+
+
+def test_load_ignores_non_reproducer_files(tmp_path):
+    (tmp_path / "README.md").write_text("not a reproducer")
+    (tmp_path / "notes.c").write_text("int main(int n) { return 0; }")
+    assert load_corpus(str(tmp_path)) == []
+
+
+def test_load_missing_directory_is_empty():
+    assert load_corpus("/nonexistent/corpus/dir") == []
+
+
+def test_failure_written_by_campaign_replays(tmp_path, monkeypatch):
+    """End-to-end: a campaign failure saved to the corpus replays its
+    oracle byte-identically -- failing while the bug exists, passing
+    once it is fixed."""
+    from repro.core.costmodel import IncrementalCostEvaluator
+
+    original = IncrementalCostEvaluator._total
+    monkeypatch.setattr(
+        IncrementalCostEvaluator,
+        "_total",
+        lambda self, v: original(self, v) + 1.0,
+    )
+    report = run_campaign(seed=0, iterations=20, oracles=["cost"])
+    assert report.failures
+    save_reproducer(str(tmp_path), report.failures[0])
+    (entry,) = load_corpus(str(tmp_path))
+    assert replay_entry(entry) is not None  # bug still present: fails
+
+    monkeypatch.setattr(IncrementalCostEvaluator, "_total", original)
+    assert replay_entry(entry) is None  # bug fixed: corpus entry passes
+
+
+# -- the checked-in regression corpus ---------------------------------------
+
+_ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_checked_in_corpus_is_nonempty():
+    assert _ENTRIES, f"no reproducers under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("entry", _ENTRIES, ids=lambda e: e.name)
+def test_corpus_reproducer_stays_fixed(entry):
+    detail = replay_entry(entry)
+    assert detail is None, (
+        f"corpus regression resurfaced in {entry.path}: {detail}"
+    )

@@ -1,0 +1,64 @@
+"""Mutation smoke test (acceptance criterion).
+
+Injects an off-by-one into the incremental cost evaluator's total --
+the classic silent cost-model regression -- and requires the fuzzing
+subsystem to (a) catch it within a small fixed budget and (b) shrink
+the failing program to a reproducer whose loop body is at most 10 IR
+instructions.  This is the end-to-end guarantee that a future cost-path
+PR breaking bitwise equality cannot land quietly.
+"""
+
+import pytest
+
+from repro.analysis.loops import LoopNest
+from repro.core.costmodel import IncrementalCostEvaluator
+from repro.frontend import compile_minic
+from repro.ssa.construct import build_ssa
+from repro.ssa.optimize import optimize
+from repro.testkit import run_campaign
+
+
+@pytest.fixture
+def cost_off_by_one(monkeypatch):
+    original = IncrementalCostEvaluator._total
+    monkeypatch.setattr(
+        IncrementalCostEvaluator,
+        "_total",
+        lambda self, v: original(self, v) + 1.0,
+    )
+
+
+def _loop_body_sizes(source):
+    """IR instruction count of every loop body, after SSA + cleanup."""
+    module = compile_minic(source)
+    sizes = []
+    for name in sorted(module.functions):
+        func = module.functions[name]
+        build_ssa(func)
+        optimize(func)
+        for loop in LoopNest.build(func).loops:
+            sizes.append(
+                sum(len(block.instrs) for block in loop.blocks(func))
+            )
+    return sizes
+
+
+def test_cost_off_by_one_is_caught_and_shrunk_small(cost_off_by_one):
+    report = run_campaign(seed=0, iterations=50, oracles=["cost"])
+    assert report.failures, "injected cost off-by-one was not caught"
+    failure = report.failures[0]
+    assert failure.oracle == "cost"
+    assert failure.shrunk is not None
+    assert failure.shrunk_detail is not None, "shrunk program no longer fails"
+
+    sizes = _loop_body_sizes(failure.shrunk.source())
+    assert sizes, "shrunk reproducer lost its loop"
+    assert min(sizes) <= 10, (
+        f"reproducer loop bodies too large: {sizes}\n"
+        f"{failure.shrunk.source()}"
+    )
+
+
+def test_campaign_is_clean_without_the_mutation():
+    report = run_campaign(seed=0, iterations=5, oracles=["cost"])
+    assert report.ok, [f.detail for f in report.failures]

@@ -1,0 +1,86 @@
+"""Campaign driver tests: determinism, telemetry, failure handling."""
+
+from repro.obs.telemetry import Telemetry
+from repro.testkit import run_campaign
+from repro.testkit.generator import GenConfig
+
+SMALL = GenConfig(max_depth=1, max_stmts=2, n_scalars=2, n_arrays=1,
+                  array_size=32, max_outer_trip=8)
+
+
+def test_clean_campaign_reports_all_checked():
+    report = run_campaign(seed=11, iterations=4, gen_config=SMALL)
+    assert report.ok
+    assert report.checked == {name: 4 for name in report.oracles}
+    lines = report.summary_lines()
+    assert "seed=11" in lines[0]
+    assert all("0 failed" in line for line in lines[1:])
+
+
+def test_campaign_is_deterministic(monkeypatch):
+    def snapshot(report):
+        return [
+            (f.oracle, f.iteration, f.detail, f.spec.source())
+            for f in report.failures
+        ]
+
+    a = run_campaign(seed=3, iterations=3, gen_config=SMALL)
+    b = run_campaign(seed=3, iterations=3, gen_config=SMALL)
+    assert snapshot(a) == snapshot(b)
+    assert a.checked == b.checked
+
+
+def test_unknown_oracle_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown oracle"):
+        run_campaign(seed=0, iterations=1, oracles=["bogus"])
+
+
+def test_campaign_telemetry_counters():
+    telemetry = Telemetry(sinks=[])
+    run_campaign(
+        seed=0, iterations=2, oracles=["cost"], gen_config=SMALL,
+        telemetry=telemetry,
+    )
+    assert telemetry.counters.get("fuzz.cost.checked") == 2
+    assert "fuzz.cost.failed" not in telemetry.counters
+
+
+def test_failure_is_caught_shrunk_and_replayable(monkeypatch):
+    """Sabotage one oracle; the campaign must catch it, shrink it, and
+    the shrunk reproducer must still fail the same oracle."""
+    from repro.core.costmodel import IncrementalCostEvaluator
+
+    original = IncrementalCostEvaluator._total
+    monkeypatch.setattr(
+        IncrementalCostEvaluator,
+        "_total",
+        lambda self, v: original(self, v) + 1.0,
+    )
+    report = run_campaign(seed=0, iterations=20, oracles=["cost"])
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.oracle == "cost"
+    assert failure.shrunk is not None
+    assert failure.shrunk_detail is not None  # still fails after shrinking
+    assert len(failure.shrunk.source()) <= len(failure.spec.source())
+    # The campaign stopped at the first failure (max_failures=1).
+    assert len(report.failures) == 1
+
+
+def test_max_failures_zero_runs_full_campaign(monkeypatch):
+    from repro.core.costmodel import IncrementalCostEvaluator
+
+    original = IncrementalCostEvaluator._total
+    monkeypatch.setattr(
+        IncrementalCostEvaluator,
+        "_total",
+        lambda self, v: original(self, v) + 1.0,
+    )
+    report = run_campaign(
+        seed=0, iterations=3, oracles=["cost"], max_failures=0, shrink=False
+    )
+    assert report.checked["cost"] == 3
+    assert len(report.failures) >= 1
+    assert all(f.shrunk is None for f in report.failures)
