@@ -5,9 +5,11 @@ These are pytest-benchmark timings (multiple rounds) rather than
 one-shot experiment reproductions.
 """
 
+import json
+import os
 import time
 
-from conftest import bench_rng
+from conftest import RESULTS_DIR, bench_rng
 
 from repro.analysis.cfg import CFG
 from repro.analysis.depgraph import build_dep_graph
@@ -272,3 +274,76 @@ def test_partition_search_node_visits():
     )
     assert total_ratio >= 2.0
     assert heavy_ratio >= 5.0
+
+
+# -- batch driver: cold vs warm cache, jobs=1 vs jobs=N ---------------------
+
+_BATCH_TEMPLATE = """
+global int data[256];
+global int out[256];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 255];
+        int a = x * MULT + i;
+        int b = (a << 2) ^ (x >> 1);
+        out[i & 255] = b & MASK;
+        s += b & 31;
+    }
+    return s;
+}
+"""
+
+
+def test_batch_driver_trajectory(tmp_path):
+    """The batch-compilation trajectory: emits BENCH_batch.json with
+    cold vs warm-cache wall time and jobs=1 vs jobs=N speedup, so
+    future PRs can track both axes.  Only the warm-cache speedup is
+    asserted (the parallel speedup depends on the runner's core count
+    and is recorded, not gated)."""
+    from repro.batch import run_batch
+
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    for index in range(8):
+        source = _BATCH_TEMPLATE.replace("MULT", str(3 + 2 * index))
+        source = source.replace("MASK", str(1023 - index))
+        (corpus / f"bench{index}.c").write_text(source)
+    args = (3000,)
+    jobs_n = min(4, os.cpu_count() or 1)
+
+    def run(jobs, cache_dir):
+        start = time.perf_counter()
+        result = run_batch(
+            [str(corpus)], args=args, jobs=jobs, cache_dir=str(cache_dir)
+        )
+        assert result.ok
+        return time.perf_counter() - start, result
+
+    cold_jobs1, _ = run(1, tmp_path / "cache-j1")
+    cold_jobsn, _ = run(jobs_n, tmp_path / "cache-jn")
+    warm_jobs1, warm_result = run(1, tmp_path / "cache-j1")
+
+    hit_rate = warm_result.stats["cache"]["hit_rate"]
+    trajectory = {
+        "programs": 8,
+        "args": list(args),
+        "jobs_n": jobs_n,
+        "cold_jobs1_seconds": round(cold_jobs1, 4),
+        "cold_jobsn_seconds": round(cold_jobsn, 4),
+        "warm_jobs1_seconds": round(warm_jobs1, 4),
+        "parallel_speedup": round(cold_jobs1 / cold_jobsn, 3),
+        "warm_cache_speedup": round(cold_jobs1 / warm_jobs1, 3),
+        "warm_hit_rate": round(hit_rate, 4),
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_batch.json")
+    with open(path, "w") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nbatch trajectory: {trajectory}")
+
+    assert hit_rate >= 0.9
+    assert trajectory["warm_cache_speedup"] > 1.0
+    assert trajectory["parallel_speedup"] > 0.0

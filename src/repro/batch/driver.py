@@ -1,0 +1,361 @@
+"""The multi-process batch-compilation driver (``repro batch``).
+
+Programs are expanded from directories/globs, sorted, and pushed
+through a shared task queue to a pool of worker processes
+(:mod:`repro.batch.worker`).  Results arrive in completion order and
+are merged back into task order, so the manifest is deterministic
+regardless of ``--jobs`` or scheduling.
+
+Crash isolation: each worker advertises the task it claimed through a
+shared-memory slot.  When the driver notices a dead worker it first
+drains the result queue (the task may in fact have completed), then
+charges the still-unaccounted claimed task with a structured
+``status: "crashed"`` entry and respawns a replacement worker, so one
+bad program can never take down the batch.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.batch.cache import CacheStats, ResultCache, default_cache_dir
+from repro.batch.manifest import build_manifest
+from repro.batch.worker import worker_main
+from repro.obs.telemetry import NULL_TELEMETRY
+
+__all__ = ["BatchResult", "expand_inputs", "run_batch"]
+
+#: Seconds of total silence (no results, no live claimed work) before
+#: the driver declares the remaining tasks lost.  A backstop for the
+#: tiny window where a worker dies between dequeue and claim; normal
+#: batches never get near it.
+STALL_TIMEOUT = 60.0
+
+_SOURCE_SUFFIXES = (".c", ".minic", ".ir")
+
+
+class BatchResult:
+    """Everything one batch run produced."""
+
+    def __init__(
+        self,
+        manifest: Dict,
+        entries: List[Dict],
+        stats: Dict,
+        cache_stats: CacheStats,
+    ):
+        #: The canonical, run-shape-independent manifest document.
+        self.manifest = manifest
+        #: Raw per-program entries in input (sorted-path) order,
+        #: including volatile fields (``cached``, ``program_key``).
+        self.entries = entries
+        #: Run-dependent measurements (wall time, jobs, cache rates).
+        self.stats = stats
+        self.cache_stats = cache_stats
+
+    @property
+    def ok(self) -> bool:
+        return all(e.get("status") == "ok" for e in self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult({self.stats['ok']}/{self.stats['programs']} ok, "
+            f"hit_rate={self.cache_stats.hit_rate:.0%})"
+        )
+
+
+def expand_inputs(inputs: List[str]) -> List[str]:
+    """Expand directories and glob patterns into a sorted program list.
+
+    Directories contribute every ``*.c``/``*.minic``/``*.ir`` file
+    directly inside them; other arguments go through :mod:`glob` and
+    then must name files.  Duplicates are dropped; the result is
+    sorted for deterministic task numbering."""
+    paths: List[str] = []
+    for item in inputs:
+        if os.path.isdir(item):
+            for name in sorted(os.listdir(item)):
+                if name.endswith(_SOURCE_SUFFIXES):
+                    paths.append(os.path.join(item, name))
+            continue
+        matches = sorted(_glob.glob(item))
+        if not matches:
+            raise FileNotFoundError(f"no programs match {item!r}")
+        for match in matches:
+            if os.path.isfile(match):
+                paths.append(match)
+    seen = set()
+    unique = []
+    for path in paths:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    unique.sort(key=_display_path)
+    return unique
+
+
+def _display_path(path: str) -> str:
+    """The stable name a program gets in the manifest: its basename
+    when unambiguous (the common corpus-directory case would otherwise
+    leak absolute temp/workspace paths into goldens)."""
+    return os.path.basename(path)
+
+
+def _build_tasks(
+    paths: List[str],
+    config_name: str,
+    config_overrides: Dict,
+    entry: str,
+    args,
+    fuel: int,
+) -> List[Dict]:
+    display = [_display_path(p) for p in paths]
+    if len(set(display)) != len(display):
+        # Ambiguous basenames: fall back to the full given paths.
+        display = [p.replace(os.sep, "/") for p in paths]
+    tasks = []
+    for index, (path, name) in enumerate(zip(paths, display)):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tasks.append(
+            {
+                "index": index,
+                "path": name,
+                "name": os.path.basename(path).split(".")[0],
+                "source": source,
+                "config": config_name,
+                "config_overrides": dict(config_overrides or {}),
+                "entry": entry,
+                "args": list(args),
+                "fuel": fuel,
+            }
+        )
+    return tasks
+
+
+def _crashed_entry(task: Dict, exitcode: Optional[int], message: str) -> Dict:
+    import hashlib
+
+    return {
+        "path": task["path"],
+        "sha256": hashlib.sha256(task["source"].encode("utf-8")).hexdigest(),
+        "status": "crashed",
+        "error": {
+            "exitcode": exitcode if exitcode is not None else -1,
+            "message": message,
+        },
+    }
+
+
+class _WorkerHandle:
+    """One live worker process plus its shared claim slot."""
+
+    def __init__(self, ctx, worker_id, task_queue, result_queue, cache_dir):
+        self.worker_id = worker_id
+        self.claim = ctx.Value("i", -1, lock=False)
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(task_queue, result_queue, worker_id, cache_dir, self.claim),
+            daemon=True,
+            name=f"repro-batch-worker-{worker_id}",
+        )
+        self.process.start()
+
+
+def run_batch(
+    inputs: List[str],
+    config_name: str = "best",
+    config_overrides: Optional[Dict] = None,
+    entry: str = "main",
+    args=(),
+    fuel: int = 50_000_000,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    cache_max_entries: Optional[int] = None,
+    telemetry=None,
+    progress=None,
+) -> BatchResult:
+    """Compile every program named by ``inputs`` and merge one manifest.
+
+    ``progress`` is an optional callable receiving one finished entry
+    at a time (completion order), for CLI streaming output."""
+    telemetry = telemetry or NULL_TELEMETRY
+    paths = expand_inputs(list(inputs))
+    if not paths:
+        raise FileNotFoundError("no input programs found")
+    jobs = jobs or os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(paths)))
+    effective_cache_dir = (
+        (cache_dir or default_cache_dir()) if use_cache else None
+    )
+
+    tasks = _build_tasks(
+        paths, config_name, config_overrides or {}, entry, args, fuel
+    )
+    started = time.perf_counter()
+    with telemetry.span("batch", jobs=jobs, programs=len(tasks)):
+        entries, cache_stats = _execute(
+            tasks, jobs, effective_cache_dir, telemetry, progress
+        )
+
+    evicted = 0
+    if effective_cache_dir and cache_max_entries is not None:
+        cache = ResultCache(effective_cache_dir)
+        evicted = cache.prune(cache_max_entries)
+        cache_stats.evictions += evicted
+    wall = time.perf_counter() - started
+
+    if telemetry.enabled:
+        telemetry.merge_counters(cache_stats.as_counters())
+        telemetry.count("batch.programs", len(entries))
+        telemetry.count(
+            "batch.programs_failed",
+            sum(1 for e in entries if e.get("status") != "ok"),
+        )
+
+    from repro.batch.worker import config_from_task
+
+    config = config_from_task(tasks[0])
+    manifest = build_manifest(
+        entries, config_name, config.fingerprint(), entry, list(args), fuel
+    )
+    statuses = [e.get("status") for e in entries]
+    stats = {
+        "jobs": jobs,
+        "programs": len(entries),
+        "ok": statuses.count("ok"),
+        "errors": statuses.count("error"),
+        "crashed": statuses.count("crashed") + statuses.count("lost"),
+        "cached_programs": sum(1 for e in entries if e.get("cached")),
+        "wall_seconds": round(wall, 4),
+        "cache_dir": effective_cache_dir,
+        "cache": cache_stats.to_dict(),
+    }
+    return BatchResult(manifest, entries, stats, cache_stats)
+
+
+def _execute(tasks, jobs, cache_dir, telemetry, progress):
+    """Run the worker pool; returns (entries in task order, CacheStats)."""
+    ctx = multiprocessing.get_context()
+    task_queue = ctx.Queue()
+    # Results travel over a SimpleQueue on purpose: its put() writes to
+    # the pipe synchronously in the calling thread, so a worker that
+    # hard-dies right after put() cannot strand finished results in an
+    # unflushed feeder-thread buffer (mp.Queue would).
+    result_queue = ctx.SimpleQueue()
+    for task in tasks:
+        task_queue.put(task)
+    for _ in range(jobs):
+        task_queue.put(None)
+
+    entries: List[Optional[Dict]] = [None] * len(tasks)
+    cache_stats = CacheStats()
+    pending = set(range(len(tasks)))
+    workers: Dict[int, _WorkerHandle] = {}
+    next_worker_id = 0
+    for _ in range(jobs):
+        workers[next_worker_id] = _WorkerHandle(
+            ctx, next_worker_id, task_queue, result_queue, cache_dir
+        )
+        next_worker_id += 1
+
+    last_progress = time.monotonic()
+
+    def finish(index: int, entry: Dict) -> None:
+        entries[index] = entry
+        pending.discard(index)
+        if progress is not None:
+            progress(entry)
+
+    try:
+        while pending:
+            drained = False
+            if result_queue.empty():
+                time.sleep(0.02)
+                message = None
+            else:
+                message = result_queue.get()
+                drained = True
+            if message is not None:
+                last_progress = time.monotonic()
+                if message["kind"] == "done":
+                    if message["index"] in pending:
+                        finish(message["index"], message["entry"])
+                        cache_stats.merge(message["stats"])
+                continue
+
+            # No result just now: check worker liveness.
+            for worker_id, handle in list(workers.items()):
+                if handle.process.is_alive():
+                    continue
+                if handle.process.exitcode == 0:
+                    # Clean exit: the worker drained its sentinel after
+                    # the queue emptied.  Don't replace it.
+                    del workers[worker_id]
+                    continue
+                # Drain anything the dead worker managed to send
+                # before attributing a crash.
+                while not result_queue.empty():
+                    late = result_queue.get()
+                    if late["kind"] == "done" and late["index"] in pending:
+                        finish(late["index"], late["entry"])
+                        cache_stats.merge(late["stats"])
+                claimed = handle.claim.value
+                del workers[worker_id]
+                if claimed >= 0 and claimed in pending:
+                    exitcode = handle.process.exitcode
+                    finish(
+                        claimed,
+                        _crashed_entry(
+                            tasks[claimed],
+                            exitcode,
+                            f"worker process died (exit code {exitcode}) "
+                            f"while compiling this program",
+                        ),
+                    )
+                    if telemetry.enabled:
+                        telemetry.event(
+                            "batch.worker_crashed",
+                            worker=worker_id,
+                            program=tasks[claimed]["path"],
+                            exitcode=exitcode,
+                        )
+                if pending:
+                    # Replace lost capacity; its queue sentinel was
+                    # never consumed, so no extra sentinel is needed.
+                    workers[next_worker_id] = _WorkerHandle(
+                        ctx, next_worker_id, task_queue, result_queue,
+                        cache_dir,
+                    )
+                    next_worker_id += 1
+                last_progress = time.monotonic()
+
+            if drained or not pending:
+                continue
+            if time.monotonic() - last_progress > STALL_TIMEOUT:
+                # Backstop: tasks vanished without a claim (death in
+                # the dequeue->claim window) or the pool wedged.
+                for index in sorted(pending):
+                    finish(
+                        index,
+                        _crashed_entry(
+                            tasks[index], None,
+                            "task lost: no worker claimed or finished it "
+                            f"within {STALL_TIMEOUT:.0f}s",
+                        ),
+                    )
+    finally:
+        for handle in workers.values():
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+        task_queue.cancel_join_thread()
+        result_queue.close()
+
+    return [entry for entry in entries if entry is not None], cache_stats

@@ -1,0 +1,97 @@
+"""The batch manifest: one machine-readable document per batch run.
+
+The manifest is the CI-diffable artifact: it captures *what the
+compiler decided* (per-program, per-loop: category, partition cost,
+selection verdict) and deliberately excludes anything
+run-dependent -- wall times, worker counts, cache hit rates -- so
+that ``--jobs 1`` vs ``--jobs 4`` and cold vs warm-cache runs emit
+byte-identical files.  Run-dependent measurements go to the separate
+stats document (``--stats-out``).
+
+Schema (``repro-batch-manifest/1``)::
+
+    {
+      "schema": "repro-batch-manifest/1",
+      "config": "best",
+      "config_fingerprint": "<sha256>",
+      "entry": "main",
+      "args": [256],
+      "fuel": 50000000,
+      "programs": [
+        {"path": "a.c", "sha256": "<sha256 of source>",
+         "status": "ok", "summary": {...CompilationResult.to_dict()...}},
+        {"path": "bad.c", "sha256": "...", "status": "error",
+         "error": {"type": "ParseError", "message": "..."}},
+        {"path": "boom.c", "sha256": "...", "status": "crashed",
+         "error": {"exitcode": 13, "message": "..."}}
+      ]
+    }
+
+``programs`` is sorted by ``path``.  Serialization is canonical:
+``json.dumps(..., indent=2, sort_keys=True)`` plus a trailing newline,
+so two manifests are equal iff their bytes are equal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "dump_manifest",
+    "load_manifest",
+    "manifest_to_bytes",
+]
+
+MANIFEST_SCHEMA = "repro-batch-manifest/1"
+
+
+def build_manifest(
+    entries: List[Dict],
+    config_name: str,
+    config_fingerprint: str,
+    entry: str,
+    args,
+    fuel: int,
+) -> Dict:
+    """Assemble the manifest document from per-program entries.
+
+    Volatile fields workers attach for telemetry (``cached``,
+    ``program_key``, ``traceback``) are stripped so the document stays
+    stable across cache states and run shapes."""
+    programs = []
+    for raw in sorted(entries, key=lambda e: e["path"]):
+        program = {
+            key: value
+            for key, value in raw.items()
+            if key not in ("cached", "program_key", "traceback")
+        }
+        programs.append(program)
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "config": config_name,
+        "config_fingerprint": config_fingerprint,
+        "entry": entry,
+        "args": list(args),
+        "fuel": fuel,
+        "programs": programs,
+    }
+
+
+def manifest_to_bytes(manifest: Dict) -> bytes:
+    """Canonical byte serialization (the goldens compare these)."""
+    return (
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def dump_manifest(manifest: Dict, path: str) -> None:
+    with open(path, "wb") as handle:
+        handle.write(manifest_to_bytes(manifest))
+
+
+def load_manifest(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

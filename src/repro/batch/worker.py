@@ -1,0 +1,261 @@
+"""Worker side of the batch-compilation protocol.
+
+A task is a plain picklable dict (``index``, ``path``, ``name``,
+``source`` plus the shared config/workload description); a worker
+process loops on the task queue and reports over the result queue:
+
+* ``{"kind": "start", "worker": w, "index": i}`` as soon as a task is
+  claimed (the driver uses this, together with a shared-memory claim
+  slot, to attribute a hard worker death to the right program);
+* ``{"kind": "done", "worker": w, "index": i, "entry": ..., "stats":
+  ..., "counters": ...}`` when the program finished -- whether the
+  compilation succeeded, was served from cache, or raised.
+
+A worker never lets a per-program exception escape: failures become
+``status: "error"`` manifest entries and the loop continues.  Only a
+hard process death (segfault, ``os._exit``) loses a worker, and the
+driver turns that into a ``status: "crashed"`` entry for the claimed
+program while the rest of the batch proceeds on respawned capacity.
+
+Fault injection: when ``$REPRO_BATCH_CRASH_ON`` is a non-empty
+substring of a task's path, the worker hard-exits with code 13 right
+after claiming it.  This exists for the crash-isolation tests and CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import traceback
+from typing import Dict, Optional, Tuple
+
+from repro.batch.cache import ResultCache
+from repro.core.config import (
+    SptConfig,
+    anticipated_config,
+    basic_config,
+    best_config,
+)
+from repro.core.pipeline import Workload, compile_spt
+from repro.frontend import compile_minic
+from repro.ir import format_module, parse_module
+
+__all__ = [
+    "CRASH_ENV_VAR",
+    "CRASH_EXIT_CODE",
+    "canonical_module_text",
+    "compile_program_task",
+    "config_from_task",
+    "worker_main",
+]
+
+CRASH_ENV_VAR = "REPRO_BATCH_CRASH_ON"
+CRASH_EXIT_CODE = 13
+
+_CONFIG_FACTORIES = {
+    "basic": basic_config,
+    "best": best_config,
+    "anticipated": anticipated_config,
+}
+
+
+def canonical_module_text(source: str) -> str:
+    """Canonicalize a program to deterministic textual IR.
+
+    MiniC source is lowered (under a fixed module name, so the file
+    name cannot influence the digest) and printed; textual IR is
+    parsed and re-printed.  Comments, whitespace and declaration
+    formatting all wash out, so cosmetically different files hit the
+    same cache entries."""
+    stripped = source.lstrip()
+    if stripped.startswith("module ") or stripped.startswith("func "):
+        module = parse_module(source)
+        module.name = "m"
+    else:
+        module = compile_minic(source, name="m")
+    return format_module(module)
+
+
+def config_from_task(task: Dict) -> SptConfig:
+    """Rebuild the SptConfig a task describes (preset + overrides)."""
+    config = _CONFIG_FACTORIES[task["config"]]()
+    overrides = task.get("config_overrides") or {}
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _load_module(source: str, name: str):
+    stripped = source.lstrip()
+    if stripped.startswith("module ") or stripped.startswith("func "):
+        return parse_module(source)
+    return compile_minic(source, name=name)
+
+
+def compile_program_task(
+    task: Dict, cache: Optional[ResultCache]
+) -> Tuple[Dict, Dict]:
+    """Compile one program (consulting ``cache``), returning
+    ``(manifest_entry, cache_stats_dict)``.
+
+    The manifest entry is byte-for-byte identical whether it was
+    recomputed or served warm: the cache stores the exact summary and
+    per-loop records the cold path produced."""
+    stats_before = cache.stats.to_dict() if cache else None
+    source = task["source"]
+    entry: Dict = {
+        "path": task["path"],
+        "sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+    }
+    try:
+        entry.update(_compile_with_cache(task, cache))
+    except Exception as exc:  # noqa: BLE001 - worker must survive anything
+        entry["status"] = "error"
+        entry["error"] = {
+            "type": exc.__class__.__name__,
+            "message": str(exc),
+        }
+        entry["traceback"] = traceback.format_exc(limit=8)
+    delta = _stats_delta(cache, stats_before)
+    return entry, delta
+
+
+def _stats_delta(cache: Optional[ResultCache], before: Optional[Dict]) -> Dict:
+    if cache is None or before is None:
+        return {"hits": 0, "misses": 0, "writes": 0, "evictions": 0,
+                "corrupt": 0}
+    after = cache.stats.to_dict()
+    return {
+        name: after[name] - before[name]
+        for name in ("hits", "misses", "writes", "evictions", "corrupt")
+    }
+
+
+def _compile_with_cache(task: Dict, cache: Optional[ResultCache]) -> Dict:
+    config = config_from_task(task)
+    workload = Workload(
+        entry=task["entry"], args=tuple(task["args"]), fuel=task["fuel"]
+    )
+
+    program_key = None
+    if cache is not None:
+        canonical = canonical_module_text(task["source"])
+        program_key = ResultCache.program_key(
+            canonical,
+            config.fingerprint(),
+            ResultCache.workload_token(
+                workload.entry, workload.args, workload.fuel
+            ),
+        )
+        cached = cache.get_program(program_key)
+        if cached is not None:
+            loops = []
+            complete = True
+            for loop_key in cached.get("loop_keys", ()):
+                record = cache.get_loop(loop_key)
+                if record is None:
+                    complete = False
+                    break
+                loops.append(record)
+            if complete and "summary" in cached:
+                return {
+                    "status": "ok",
+                    "summary": cached["summary"],
+                    "cached": True,
+                    "program_key": program_key,
+                }
+            # Partial/corrupt state: fall through and recompute fully.
+
+    module = _load_module(task["source"], task["name"])
+    result = compile_spt(module, config, workload)
+    # Normalize through JSON immediately so cold results are the same
+    # Python objects a cache round-trip yields (tuples become lists,
+    # keys become strings) -- warm and cold entries must compare equal,
+    # not just serialize equal.
+    summary = json.loads(json.dumps(result.to_dict()))
+
+    if cache is not None:
+        loop_keys = []
+        for record in json.loads(json.dumps(result.loop_records())):
+            loop_key = ResultCache.loop_key(
+                program_key, record["function"], record["header"]
+            )
+            cache.put_loop(loop_key, record)
+            loop_keys.append(loop_key)
+            # A cold per-loop analysis is a cache miss in the telemetry
+            # sense: it was requested and had to be computed.
+            cache.stats.misses += 1
+        cache.put_program(
+            program_key, {"summary": summary, "loop_keys": loop_keys}
+        )
+
+    out = {"status": "ok", "summary": summary, "cached": False}
+    if program_key is not None:
+        out["program_key"] = program_key
+    return out
+
+
+def probe_cache(
+    source: str, config: SptConfig, workload: Workload, cache: ResultCache
+) -> Dict:
+    """Read-only cache inspection for ``repro explain --cache-dir``.
+
+    Reports whether this (program, config, workload) combination is
+    warm: the program key, whether the program entry is present, and
+    how many of its per-loop records are loadable."""
+    canonical = canonical_module_text(source)
+    program_key = ResultCache.program_key(
+        canonical,
+        config.fingerprint(),
+        ResultCache.workload_token(workload.entry, workload.args, workload.fuel),
+    )
+    probe = {
+        "cache_dir": cache.cache_dir,
+        "program_key": program_key,
+        "program_hit": False,
+        "loops_present": 0,
+        "loops_total": 0,
+    }
+    cached = cache.get_program(program_key)
+    if cached is None:
+        return probe
+    probe["program_hit"] = True
+    loop_keys = cached.get("loop_keys", [])
+    probe["loops_total"] = len(loop_keys)
+    probe["loops_present"] = sum(
+        1 for loop_key in loop_keys if cache.get_loop(loop_key) is not None
+    )
+    return probe
+
+
+def worker_main(task_queue, result_queue, worker_id, cache_dir, claim) -> None:
+    """Body of one worker process.
+
+    ``claim`` is a shared ``multiprocessing.Value('i')`` the worker
+    sets to the task index it is working on (and back to -1 when
+    done).  Unlike queue messages -- which travel through a feeder
+    thread a dying process may never flush -- shared-memory stores are
+    visible immediately, so the driver can attribute a hard crash to
+    the right program."""
+    crash_on = os.environ.get(CRASH_ENV_VAR) or None
+    cache = ResultCache(cache_dir) if cache_dir else None
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        index = task["index"]
+        claim.value = index
+        result_queue.put({"kind": "start", "worker": worker_id, "index": index})
+        if crash_on and crash_on in task["path"]:
+            # Simulated hard death: no cleanup, no queue flush.
+            os._exit(CRASH_EXIT_CODE)
+        entry, stats = compile_program_task(task, cache)
+        result_queue.put(
+            {
+                "kind": "done",
+                "worker": worker_id,
+                "index": index,
+                "entry": entry,
+                "stats": stats,
+            }
+        )
+        claim.value = -1

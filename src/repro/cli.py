@@ -292,8 +292,95 @@ def cmd_explain(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
     result = compile_spt(module, config, workload, telemetry=telemetry)
     print(explain_text(result, config, loop=args.loop, verbose=not args.brief))
+    if args.cache_dir is not None:
+        from repro.batch import ResultCache
+        from repro.batch.worker import probe_cache
+        from repro.report.explain import cache_probe_text
+
+        with open(args.source) as handle:
+            source = handle.read()
+        cache = ResultCache(args.cache_dir or None)
+        probe = probe_cache(source, config, workload, cache)
+        if telemetry is not None:
+            telemetry.merge_counters(cache.stats.as_counters())
+        print()
+        print(cache_probe_text(probe))
     _finish_telemetry(telemetry, args)
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.batch import dump_manifest, run_batch
+
+    overrides = {}
+    if args.no_fast_interp:
+        overrides["fast_interp"] = False
+    if args.no_incremental_cost:
+        overrides["incremental_cost"] = False
+
+    telemetry = _telemetry_from_args(args)
+
+    def progress(entry):
+        status = entry.get("status")
+        if status == "ok":
+            summary = entry["summary"]
+            selected = len(summary.get("selected", []))
+            total = len(summary.get("candidates", []))
+            origin = "warm" if entry.get("cached") else "cold"
+            print(
+                f"  ok      {entry['path']:32s} {selected}/{total} loops"
+                f" selected [{origin}]"
+            )
+        else:
+            error = entry.get("error", {})
+            detail = error.get("message") or error.get("type") or "?"
+            print(f"  {status:7s} {entry['path']:32s} {detail}")
+
+    try:
+        result = run_batch(
+            args.inputs,
+            config_name=args.config,
+            config_overrides=overrides,
+            entry=args.entry,
+            args=tuple(_parse_args_list(args.args)),
+            fuel=args.fuel,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            cache_max_entries=args.cache_max_entries,
+            telemetry=telemetry,
+            progress=progress if not args.quiet else None,
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    stats = result.stats
+    cache = stats["cache"]
+    print(
+        f"batch: {stats['ok']}/{stats['programs']} ok"
+        f" ({stats['errors']} errors, {stats['crashed']} crashed)"
+        f" in {stats['wall_seconds']:.2f}s with {stats['jobs']} jobs"
+    )
+    if not args.no_cache:
+        print(
+            f"cache: {cache['hits']} hits / {cache['misses']} misses"
+            f" ({cache['hit_rate']:.1%} hit rate),"
+            f" {cache['writes']} writes, {cache['evictions']} evictions"
+            f"  [{stats['cache_dir']}]"
+        )
+    if args.manifest:
+        dump_manifest(result.manifest, args.manifest)
+        print(f"manifest written to {args.manifest}")
+    if args.stats_out:
+        with open(args.stats_out, "w") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"run stats written to {args.stats_out}")
+    _finish_telemetry(telemetry, args)
+    return 0 if result.ok else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -483,7 +570,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--brief", action="store_true",
         help="omit the pre-fork region statement listing",
     )
+    explain_p.add_argument(
+        "--cache-dir", nargs="?", const="", default=None, metavar="DIR",
+        help="also report whether this result is warm in the batch "
+             "result cache (default dir when no DIR is given)",
+    )
     explain_p.set_defaults(fn=cmd_explain)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="compile many programs in parallel with a persistent "
+             "result cache",
+    )
+    batch_p.add_argument(
+        "inputs", nargs="+",
+        help="program files, directories, or glob patterns",
+    )
+    batch_p.add_argument("--entry", default="main", help="entry function")
+    batch_p.add_argument("--args", default="", help="comma-separated int args")
+    batch_p.add_argument("--fuel", type=int, default=50_000_000)
+    add_config_options(batch_p)
+    add_obs_options(batch_p)
+    batch_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: os.cpu_count())",
+    )
+    batch_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    batch_p.add_argument(
+        "--no-cache", action="store_true",
+        help="compile everything cold; do not read or write the cache",
+    )
+    batch_p.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="evict oldest cache entries beyond N after the batch",
+    )
+    batch_p.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write the machine-readable batch manifest (JSON)",
+    )
+    batch_p.add_argument(
+        "--stats-out", default=None, metavar="PATH",
+        help="write run statistics (wall time, jobs, cache hit rate)",
+    )
+    batch_p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-program progress lines",
+    )
+    batch_p.set_defaults(fn=cmd_batch)
 
     report_p = sub.add_parser("report", help="regenerate paper tables/figures")
     report_p.add_argument("targets", nargs="*", help="table1 fig14 ... (default: all)")

@@ -7,7 +7,8 @@ constraints (§5).  Sizes are measured in elementary-operation units
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, replace
 
 
 @dataclass
@@ -129,6 +130,21 @@ class SptConfig:
     def with_overrides(self, **kwargs) -> "SptConfig":
         """A copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """A stable SHA-256 hex digest over every tunable.
+
+        Two configs with identical field values always fingerprint
+        identically (across processes and sessions), and any field
+        change -- including of fields added in future versions --
+        produces a new digest.  The batch result cache
+        (:mod:`repro.batch.cache`) keys every entry on this, so cached
+        analyses can never be served under a different configuration.
+        """
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        ]
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
     # -- derived thresholds ----------------------------------------------------
 

@@ -91,34 +91,59 @@ class CompilationResult:
     def spt_loop_keys(self) -> List[Tuple[str, str]]:
         return [(c.func_name, c.loop.header) for c in self.selected]
 
-    def to_dict(self) -> Dict:
-        """A JSON-serializable summary (for tooling and the CLI)."""
-        candidates = []
+    @staticmethod
+    def candidate_dict(c: LoopCandidate) -> Dict:
+        """The JSON-serializable record for one loop candidate.
+
+        This is the unit the batch result cache stores per loop, so it
+        must be deterministic: floats are rounded, all collections are
+        emitted in a fixed order."""
+        entry = {
+            "function": c.func_name,
+            "header": c.loop.header,
+            "category": c.category,
+            "dynamic_body_size": round(c.dynamic_body_size, 2),
+            "trip_count": round(c.trip_count, 2),
+            "selected": c.selected,
+            "svp_applied": c.svp_applied,
+        }
+        if c.rejection is not None:
+            entry["rejection"] = c.rejection.to_dict()
+        if c.transform_error is not None:
+            entry["transform_error"] = c.transform_error
+        if c.partition is not None and not c.partition.skipped_too_many_vcs:
+            entry["misspeculation_cost"] = round(c.partition.cost, 4)
+            entry["prefork_size"] = round(c.partition.prefork_size, 2)
+            entry["violation_candidates"] = len(c.partition.candidates)
+            entry["search_nodes"] = c.partition.search_nodes
+            entry["cost_evaluations"] = c.partition.evaluations
+            entry["cost_cache_hit_rate"] = round(
+                c.partition.cache_hit_rate, 4
+            )
+            entry["cost_node_visits"] = c.partition.cost_node_visits
+        return entry
+
+    def loop_records(self) -> List[Dict]:
+        """Per-loop serialized records (candidate + full partition).
+
+        One record per analyzed loop, each self-contained so the batch
+        cache (:mod:`repro.batch.cache`) can content-address them
+        individually."""
+        records = []
         for c in self.candidates:
-            entry = {
+            record = {
                 "function": c.func_name,
                 "header": c.loop.header,
-                "category": c.category,
-                "dynamic_body_size": round(c.dynamic_body_size, 2),
-                "trip_count": round(c.trip_count, 2),
-                "selected": c.selected,
-                "svp_applied": c.svp_applied,
+                "candidate": self.candidate_dict(c),
             }
-            if c.rejection is not None:
-                entry["rejection"] = c.rejection.to_dict()
-            if c.transform_error is not None:
-                entry["transform_error"] = c.transform_error
-            if c.partition is not None and not c.partition.skipped_too_many_vcs:
-                entry["misspeculation_cost"] = round(c.partition.cost, 4)
-                entry["prefork_size"] = round(c.partition.prefork_size, 2)
-                entry["violation_candidates"] = len(c.partition.candidates)
-                entry["search_nodes"] = c.partition.search_nodes
-                entry["cost_evaluations"] = c.partition.evaluations
-                entry["cost_cache_hit_rate"] = round(
-                    c.partition.cache_hit_rate, 4
-                )
-                entry["cost_node_visits"] = c.partition.cost_node_visits
-            candidates.append(entry)
+            if c.partition is not None:
+                record["partition"] = c.partition.to_dict()
+            records.append(record)
+        return records
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable summary (for tooling and the CLI)."""
+        candidates = [self.candidate_dict(c) for c in self.candidates]
         return {
             "candidates": candidates,
             "selected": [

@@ -217,6 +217,16 @@ class Telemetry:
     def gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
 
+    def merge_counters(self, counters: Dict[str, float]) -> None:
+        """Accumulate a counter dict produced elsewhere.
+
+        The batch driver's worker processes cannot share a Telemetry
+        instance with the parent; they report plain ``{name: total}``
+        dicts over the result queue and the driver folds them in here.
+        """
+        for name, n in counters.items():
+            self.count(name, n)
+
     # -- events ----------------------------------------------------------
 
     def event(self, name: str, **attrs) -> None:
@@ -279,6 +289,9 @@ class NullTelemetry:
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def merge_counters(self, counters: Dict[str, float]) -> None:
         pass
 
     def event(self, name: str, **attrs) -> None:

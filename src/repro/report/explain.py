@@ -21,7 +21,7 @@ from repro.core.selection import (
 )
 from repro.ir.printer import format_instr
 
-__all__ = ["explain_loop_text", "explain_text"]
+__all__ = ["cache_probe_text", "explain_loop_text", "explain_text"]
 
 
 def _describe_instr(instr) -> str:
@@ -156,3 +156,34 @@ def explain_text(
         f"{len(result.selected)} selected  [{summary}]"
     )
     return "\n\n".join([header] + sections)
+
+
+def cache_probe_text(probe: dict) -> str:
+    """Render a batch-cache probe (``repro explain --cache-dir``).
+
+    ``probe`` is the dict :func:`repro.batch.worker.probe_cache`
+    produces: whether this exact (program, config, workload) is warm in
+    the persistent result cache, and how complete its per-loop records
+    are."""
+    lines = [f"result cache ({probe['cache_dir']}):"]
+    lines.append(f"  program key    {probe['program_key'][:16]}…")
+    if probe["program_hit"]:
+        lines.append(
+            f"  program entry  HIT ({probe['loops_present']}/"
+            f"{probe['loops_total']} loop records present)"
+        )
+        if probe["loops_present"] < probe["loops_total"]:
+            lines.append(
+                "  note           incomplete loop records: the next batch"
+                " run recomputes this program"
+            )
+        else:
+            lines.append(
+                "  note           a batch run would serve this result warm"
+            )
+    else:
+        lines.append(
+            "  program entry  MISS (a batch run would compile this"
+            " program cold)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Batch driver tests: input expansion, deterministic merge, error
+entries, stats accounting, and warm-run behaviour."""
+
+import json
+import os
+
+import pytest
+
+from repro.batch import (
+    MANIFEST_SCHEMA,
+    expand_inputs,
+    manifest_to_bytes,
+    run_batch,
+)
+from repro.obs import Telemetry
+
+OK_PROGRAM = """
+global int data[128];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 127];
+        int y = (x * 9 + i) ^ (x >> 1);
+        data[i & 127] = y & 255;
+        s += y & 7;
+    }
+    return s;
+}
+"""
+
+BAD_PROGRAM = "int main(int n) { return undeclared_array[0]; }"
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    corpus_dir = tmp_path / "corpus"
+    corpus_dir.mkdir()
+    for index in range(4):
+        # Distinct constants make four genuinely different programs.
+        (corpus_dir / f"prog{index}.c").write_text(
+            OK_PROGRAM.replace("y & 7", f"y & {7 + index}")
+        )
+    return corpus_dir
+
+
+def test_expand_inputs_dir_glob_and_dedup(corpus, tmp_path):
+    from_dir = expand_inputs([str(corpus)])
+    assert [os.path.basename(p) for p in from_dir] == [
+        "prog0.c", "prog1.c", "prog2.c", "prog3.c",
+    ]
+    from_glob = expand_inputs([str(corpus / "*.c")])
+    assert from_glob == from_dir
+    assert expand_inputs([str(corpus), str(corpus / "*.c")]) == from_dir
+    with pytest.raises(FileNotFoundError):
+        expand_inputs([str(tmp_path / "no-such-*.c")])
+
+
+def test_manifest_schema_and_order(corpus, tmp_path):
+    result = run_batch(
+        [str(corpus)], args=(48,), jobs=2, cache_dir=str(tmp_path / "cache")
+    )
+    manifest = result.manifest
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert len(manifest["config_fingerprint"]) == 64
+    paths = [p["path"] for p in manifest["programs"]]
+    assert paths == sorted(paths)
+    for program in manifest["programs"]:
+        assert program["status"] == "ok"
+        assert set(program["summary"]) >= {"candidates", "selected"}
+        # Volatile fields must not leak into the manifest.
+        assert "cached" not in program
+        assert "program_key" not in program
+
+
+def test_error_program_isolated(corpus, tmp_path):
+    (corpus / "bad.c").write_text(BAD_PROGRAM)
+    result = run_batch(
+        [str(corpus)], args=(48,), jobs=2, cache_dir=str(tmp_path / "cache")
+    )
+    assert not result.ok
+    by_path = {p["path"]: p for p in result.manifest["programs"]}
+    assert by_path["bad.c"]["status"] == "error"
+    assert by_path["bad.c"]["error"]["type"]
+    oks = [p for p in result.manifest["programs"] if p["status"] == "ok"]
+    assert len(oks) == 4
+    assert result.stats["errors"] == 1
+
+
+def test_errors_are_not_cached(corpus, tmp_path):
+    (corpus / "bad.c").write_text(BAD_PROGRAM)
+    cache_dir = str(tmp_path / "cache")
+    first = run_batch([str(corpus)], args=(48,), jobs=1, cache_dir=cache_dir)
+    second = run_batch([str(corpus)], args=(48,), jobs=1, cache_dir=cache_dir)
+    assert manifest_to_bytes(first.manifest) == manifest_to_bytes(
+        second.manifest
+    )
+    # The four good programs come back warm; the bad one recomputes.
+    assert second.stats["cached_programs"] == 4
+    assert second.stats["cache"]["hit_rate"] >= 0.9
+
+
+def test_warm_run_hit_rate_and_identical_manifest(corpus, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = run_batch([str(corpus)], args=(48,), jobs=2, cache_dir=cache_dir)
+    warm = run_batch([str(corpus)], args=(48,), jobs=2, cache_dir=cache_dir)
+    assert cold.stats["cache"]["hit_rate"] == 0.0
+    assert warm.stats["cache"]["hit_rate"] >= 0.9
+    assert warm.stats["cached_programs"] == 4
+    assert manifest_to_bytes(cold.manifest) == manifest_to_bytes(warm.manifest)
+    # Warm runs write nothing new.
+    assert warm.stats["cache"]["writes"] == 0
+
+
+def test_no_cache_mode(corpus, tmp_path):
+    result = run_batch([str(corpus)], args=(48,), jobs=2, use_cache=False)
+    assert result.ok
+    assert result.stats["cache_dir"] is None
+    assert result.stats["cache"]["hits"] == 0
+    assert result.stats["cache"]["misses"] == 0
+    assert result.stats["cache"]["writes"] == 0
+
+
+def test_telemetry_counters_wired(corpus, tmp_path):
+    telemetry = Telemetry()
+    cache_dir = str(tmp_path / "cache")
+    run_batch(
+        [str(corpus)], args=(48,), jobs=2, cache_dir=cache_dir,
+        telemetry=telemetry,
+    )
+    run_batch(
+        [str(corpus)], args=(48,), jobs=2, cache_dir=cache_dir,
+        telemetry=telemetry,
+    )
+    telemetry.close()
+    assert telemetry.counters["batch.programs"] == 8
+    assert telemetry.counters["batch.cache.hits"] > 0
+    assert telemetry.counters["batch.cache.misses"] > 0
+    assert "batch.cache.evictions" in telemetry.counters
+    assert telemetry.spans_named("batch")
+
+
+def test_cache_max_entries_evicts(corpus, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    result = run_batch(
+        [str(corpus)], args=(48,), jobs=1, cache_dir=cache_dir,
+        cache_max_entries=3,
+    )
+    assert result.stats["cache"]["evictions"] > 0
+    from repro.batch import ResultCache
+
+    assert len(ResultCache(cache_dir).entry_paths()) == 3
+
+
+def test_stats_document_is_json_round_trippable(corpus, tmp_path):
+    result = run_batch(
+        [str(corpus)], args=(48,), jobs=2, cache_dir=str(tmp_path / "cache")
+    )
+    round_tripped = json.loads(json.dumps(result.stats))
+    assert round_tripped["programs"] == 4
+    assert round_tripped["jobs"] >= 1
+    assert 0.0 <= round_tripped["cache"]["hit_rate"] <= 1.0

@@ -1,0 +1,23 @@
+"""Repo-wide pytest configuration.
+
+Adds ``--update-goldens``: golden/regression tests (tests/golden)
+regenerate their expected snapshots instead of asserting against them.
+Run it after an intentional compiler-behaviour change and commit the
+refreshed files with the change that caused them.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate golden snapshots instead of comparing",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")

@@ -1,0 +1,16 @@
+// Golden: indirect updates into pointer-reached (aliased) data; the
+// may-alias store->load dependences only profiling can discount.
+global int table[256] aliased;
+global int keys[512];
+
+int main(int n) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        int k = ((i * 131) + (i >> 3)) & 255;
+        int bucket = keys[(k * 3) & 511] & 255;
+        table[bucket] = table[bucket] + 1;
+        int t = table[(bucket + 16) & 255];
+        sum += (t ^ k) & 31;
+    }
+    return sum;
+}

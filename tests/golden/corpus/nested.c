@@ -1,0 +1,17 @@
+// Golden: a two-level nest; only one level may become an SPT loop
+// (single speculative core), exercising nest-conflict resolution.
+global int grid[1024];
+
+int main(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        int row = (i & 31) << 5;
+        for (int j = 0; j < 32; j++) {
+            int v = grid[(row + j) & 1023];
+            int w = (v * 7 + j) ^ (v >> 2);
+            grid[(row + j) & 1023] = w & 511;
+            total += w & 15;
+        }
+    }
+    return total;
+}

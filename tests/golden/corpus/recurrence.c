@@ -1,0 +1,15 @@
+// Golden: a genuine loop-carried value recurrence on `s` -- every
+// iteration needs the previous one, so misspeculation cost stays high
+// and the loop must be rejected.
+global int data[256];
+
+int main(int n) {
+    int s = 1;
+    for (int i = 0; i < n; i++) {
+        s = ((s * 5 + data[i & 255]) ^ (s >> 3)) & 4095;
+        data[i & 255] = s & 63;
+        s = s + ((s & 7) * (i & 15));
+        s = (s ^ (s << 1)) & 8191;
+    }
+    return s;
+}

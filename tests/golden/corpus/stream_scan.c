@@ -1,0 +1,16 @@
+// Golden: a clean DOALL-style loop -- the only carried dependence is
+// the induction variable, so the basic compilation should select it.
+global int data[512];
+global int out[512];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 511];
+        int a = x * 3 + i;
+        int b = (a << 2) ^ x;
+        out[i & 511] = b & 1023;
+        s += b & 31;
+    }
+    return s;
+}

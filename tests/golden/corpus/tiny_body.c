@@ -1,0 +1,11 @@
+// Golden: a loop body too small to amortize the fork overhead
+// (rejected by criterion 3a unless the unroller can grow it).
+global int bits[64];
+
+int main(int n) {
+    int c = 0;
+    for (int i = 0; i < n; i++) {
+        c += bits[i & 63] & 1;
+    }
+    return c;
+}

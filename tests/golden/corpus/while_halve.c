@@ -1,0 +1,17 @@
+// Golden: the hot loop is a while loop -- only the anticipated
+// compilation may unroll it, and its small body tests the min-size
+// criterion under the basic/best presets.
+global int work[128];
+
+int main(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        int v = (i * 2654435761) & 65535;
+        while (v > 3) {
+            v = (v >> 1) + (v & 1);
+            acc += v & 3;
+        }
+        work[i & 127] = acc & 255;
+    }
+    return acc;
+}

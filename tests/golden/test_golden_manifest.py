@@ -1,0 +1,91 @@
+"""Golden regression tests: the batch manifest over the checked-in
+MiniC corpus must match the committed snapshot byte for byte.
+
+The snapshot pins, per program and per loop: the classification
+category, the optimal partition's misspeculation cost and pre-fork
+size, and the selection verdict.  Any compiler-behaviour change shows
+up as a readable JSON diff; regenerate intentionally with::
+
+    pytest tests/golden --update-goldens
+
+Also asserted here: the manifest is byte-stable across worker counts
+(``--jobs 1`` vs ``--jobs 4``) -- scheduling must never leak into
+results.
+"""
+
+import os
+
+import pytest
+
+from repro.batch import manifest_to_bytes, run_batch
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+EXPECTED_PATH = os.path.join(
+    os.path.dirname(__file__), "expected", "manifest.json"
+)
+
+#: The corpus workload every golden run uses (pinned: it is part of
+#: what the snapshot means).
+GOLDEN_ARGS = (96,)
+GOLDEN_CONFIG = "best"
+
+
+def golden_batch(tmp_path, jobs):
+    result = run_batch(
+        [CORPUS_DIR],
+        config_name=GOLDEN_CONFIG,
+        args=GOLDEN_ARGS,
+        jobs=jobs,
+        cache_dir=str(tmp_path / f"cache-jobs{jobs}"),
+    )
+    assert result.ok, [
+        e for e in result.entries if e.get("status") != "ok"
+    ]
+    return result
+
+
+@pytest.fixture(scope="module")
+def jobs1_manifest(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("golden-j1")
+    return manifest_to_bytes(golden_batch(tmp, jobs=1).manifest)
+
+
+def test_manifest_matches_golden(jobs1_manifest, update_goldens):
+    if update_goldens:
+        os.makedirs(os.path.dirname(EXPECTED_PATH), exist_ok=True)
+        with open(EXPECTED_PATH, "wb") as handle:
+            handle.write(jobs1_manifest)
+        pytest.skip("golden snapshot regenerated")
+    assert os.path.exists(EXPECTED_PATH), (
+        "no golden snapshot checked in; run "
+        "`pytest tests/golden --update-goldens` and commit the result"
+    )
+    with open(EXPECTED_PATH, "rb") as handle:
+        expected = handle.read()
+    assert jobs1_manifest == expected, (
+        "batch manifest deviates from the golden snapshot; if the "
+        "change is intentional, refresh with --update-goldens"
+    )
+
+
+def test_manifest_byte_stable_across_jobs(jobs1_manifest, tmp_path):
+    jobs4 = manifest_to_bytes(golden_batch(tmp_path, jobs=4).manifest)
+    assert jobs4 == jobs1_manifest
+
+
+def test_golden_covers_interesting_outcomes(jobs1_manifest):
+    """The corpus must keep exercising a spread of selection outcomes,
+    or the goldens silently stop guarding anything interesting."""
+    import json
+
+    manifest = json.loads(jobs1_manifest)
+    categories = set()
+    selected = 0
+    for program in manifest["programs"]:
+        selected += len(program["summary"]["selected"])
+        for candidate in program["summary"]["candidates"]:
+            categories.add(candidate["category"])
+    assert selected >= 2
+    assert "valid_partition" in categories
+    assert "high_cost" in categories
+    assert len(categories) >= 4
