@@ -29,10 +29,12 @@ from repro.obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["BatchResult", "expand_inputs", "run_batch"]
 
-#: Seconds of total silence (no results, no live claimed work) before
-#: the driver declares the remaining tasks lost.  A backstop for the
-#: tiny window where a worker dies between dequeue and claim; normal
-#: batches never get near it.
+#: Default seconds of total silence (no results, no live claimed work)
+#: before the driver declares the remaining tasks lost.  A backstop for
+#: the tiny window where a worker dies between dequeue and claim;
+#: normal batches never get near it.  Configurable per run via
+#: ``run_batch(stall_timeout=...)`` / ``repro batch --stall-timeout``
+#: or :attr:`repro.core.config.SptConfig.batch_stall_timeout_s`.
 STALL_TIMEOUT = 60.0
 
 _SOURCE_SUFFIXES = (".c", ".minic", ".ir")
@@ -112,6 +114,7 @@ def _build_tasks(
     entry: str,
     args,
     fuel: int,
+    timeout_s: Optional[float] = None,
 ) -> List[Dict]:
     display = [_display_path(p) for p in paths]
     if len(set(display)) != len(display):
@@ -132,6 +135,7 @@ def _build_tasks(
                 "entry": entry,
                 "args": list(args),
                 "fuel": fuel,
+                "timeout_s": timeout_s,
             }
         )
     return tasks
@@ -179,12 +183,24 @@ def run_batch(
     cache_max_entries: Optional[int] = None,
     telemetry=None,
     progress=None,
+    stall_timeout: Optional[float] = None,
+    program_timeout: Optional[float] = None,
 ) -> BatchResult:
     """Compile every program named by ``inputs`` and merge one manifest.
 
     ``progress`` is an optional callable receiving one finished entry
-    at a time (completion order), for CLI streaming output."""
+    at a time (completion order), for CLI streaming output.
+
+    ``stall_timeout`` overrides the driver's silence backstop (default:
+    the config's ``batch_stall_timeout_s``); ``program_timeout`` arms a
+    per-program SIGALRM in each worker -- an overrunning program is
+    retried once on the degraded ladder configuration and only then
+    reported with ``status: "timeout"``."""
     telemetry = telemetry or NULL_TELEMETRY
+    if stall_timeout is not None and stall_timeout <= 0:
+        raise ValueError("stall_timeout must be positive when set")
+    if program_timeout is not None and program_timeout <= 0:
+        raise ValueError("program_timeout must be positive when set")
     paths = expand_inputs(list(inputs))
     if not paths:
         raise FileNotFoundError("no input programs found")
@@ -195,12 +211,19 @@ def run_batch(
     )
 
     tasks = _build_tasks(
-        paths, config_name, config_overrides or {}, entry, args, fuel
+        paths, config_name, config_overrides or {}, entry, args, fuel,
+        timeout_s=program_timeout,
     )
+    from repro.batch.worker import config_from_task
+
+    config = config_from_task(tasks[0])
+    if stall_timeout is None:
+        stall_timeout = config.batch_stall_timeout_s
     started = time.perf_counter()
     with telemetry.span("batch", jobs=jobs, programs=len(tasks)):
         entries, cache_stats = _execute(
-            tasks, jobs, effective_cache_dir, telemetry, progress
+            tasks, jobs, effective_cache_dir, telemetry, progress,
+            stall_timeout,
         )
 
     evicted = 0
@@ -218,9 +241,6 @@ def run_batch(
             sum(1 for e in entries if e.get("status") != "ok"),
         )
 
-    from repro.batch.worker import config_from_task
-
-    config = config_from_task(tasks[0])
     manifest = build_manifest(
         entries, config_name, config.fingerprint(), entry, list(args), fuel
     )
@@ -231,6 +251,14 @@ def run_batch(
         "ok": statuses.count("ok"),
         "errors": statuses.count("error"),
         "crashed": statuses.count("crashed") + statuses.count("lost"),
+        "timeouts": statuses.count("timeout"),
+        "degraded_programs": sum(1 for e in entries if e.get("degraded")),
+        # Total contained-fault records across the batch (the summaries'
+        # top-level "degradations" lists) -- what chaos CI asserts on.
+        "degradations": sum(
+            len((e.get("summary") or {}).get("degradations", ()))
+            for e in entries
+        ),
         "cached_programs": sum(1 for e in entries if e.get("cached")),
         "wall_seconds": round(wall, 4),
         "cache_dir": effective_cache_dir,
@@ -239,7 +267,8 @@ def run_batch(
     return BatchResult(manifest, entries, stats, cache_stats)
 
 
-def _execute(tasks, jobs, cache_dir, telemetry, progress):
+def _execute(tasks, jobs, cache_dir, telemetry, progress,
+             stall_timeout=STALL_TIMEOUT):
     """Run the worker pool; returns (entries in task order, CacheStats)."""
     ctx = multiprocessing.get_context()
     task_queue = ctx.Queue()
@@ -337,7 +366,7 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress):
 
             if drained or not pending:
                 continue
-            if time.monotonic() - last_progress > STALL_TIMEOUT:
+            if time.monotonic() - last_progress > stall_timeout:
                 # Backstop: tasks vanished without a claim (death in
                 # the dequeue->claim window) or the pool wedged.
                 for index in sorted(pending):
@@ -346,7 +375,7 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress):
                         _crashed_entry(
                             tasks[index], None,
                             "task lost: no worker claimed or finished it "
-                            f"within {STALL_TIMEOUT:.0f}s",
+                            f"within {stall_timeout:g}s",
                         ),
                     )
     finally:

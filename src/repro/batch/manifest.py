@@ -23,9 +23,16 @@ Schema (``repro-batch-manifest/1``)::
         {"path": "bad.c", "sha256": "...", "status": "error",
          "error": {"type": "ParseError", "message": "..."}},
         {"path": "boom.c", "sha256": "...", "status": "crashed",
-         "error": {"exitcode": 13, "message": "..."}}
+         "error": {"exitcode": 13, "message": "..."}},
+        {"path": "slow.c", "sha256": "...", "status": "timeout",
+         "error": {"type": "ProgramTimeout", "message": "..."}}
       ]
     }
+
+A program that overran ``--program-timeout`` but succeeded on the
+worker's degraded retry stays ``status: "ok"`` with ``"degraded":
+true`` (and a ``degraded_reason``); both fields are deterministic and
+kept in the manifest.
 
 ``programs`` is sorted by ``path``.  Serialization is canonical:
 ``json.dumps(..., indent=2, sort_keys=True)`` plus a trailing newline,

@@ -27,7 +27,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import traceback
+from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
 from repro.batch.cache import ResultCache
@@ -40,6 +42,8 @@ from repro.core.config import (
 from repro.core.pipeline import Workload, compile_spt
 from repro.frontend import compile_minic
 from repro.ir import format_module, parse_module
+from repro.resilience.ladder import degraded_retry_overrides
+from repro.resilience.watchdog import ProgramTimeout
 
 __all__ = [
     "CRASH_ENV_VAR",
@@ -91,6 +95,70 @@ def _load_module(source: str, name: str):
     return compile_minic(source, name=name)
 
 
+@contextmanager
+def _program_alarm(timeout_s: Optional[float]):
+    """Arm SIGALRM to raise :class:`ProgramTimeout` after ``timeout_s``.
+
+    A no-op when no timeout is requested or the platform has no SIGALRM
+    (Windows).  Only valid in a process main thread -- which is where
+    :func:`worker_main` runs.  The signal breaks even uncooperative
+    hangs (C extensions excepted) that no in-process watchdog can."""
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise ProgramTimeout(
+            f"program compilation exceeded {timeout_s:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _degraded_retry(
+    task: Dict, cache: Optional[ResultCache], cause: str
+) -> Dict:
+    """The one post-timeout retry, on the degraded ladder configuration.
+
+    Feedback passes off, search budgets tiny, phase deadline armed --
+    and a different config fingerprint, so the degraded result can
+    never be served from (or poison) the full configuration's cache
+    entries.  A second timeout becomes ``status: "timeout"``."""
+    config = config_from_task(task)
+    overrides = dict(task.get("config_overrides") or {})
+    overrides.update(degraded_retry_overrides(config))
+    degraded_task = dict(task, config_overrides=overrides)
+    try:
+        with _program_alarm(task.get("timeout_s")):
+            out = _compile_with_cache(degraded_task, cache)
+    except ProgramTimeout as exc:
+        return {
+            "status": "timeout",
+            "error": {
+                "type": "ProgramTimeout",
+                "message": f"{cause}; degraded retry: {exc}",
+            },
+        }
+    except Exception as exc:  # noqa: BLE001 - worker must survive anything
+        return {
+            "status": "error",
+            "error": {
+                "type": exc.__class__.__name__,
+                "message": f"degraded retry after timeout failed: {exc}",
+            },
+            "traceback": traceback.format_exc(limit=8),
+        }
+    out["degraded"] = True
+    out["degraded_reason"] = cause
+    return out
+
+
 def compile_program_task(
     task: Dict, cache: Optional[ResultCache]
 ) -> Tuple[Dict, Dict]:
@@ -107,7 +175,13 @@ def compile_program_task(
         "sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
     }
     try:
-        entry.update(_compile_with_cache(task, cache))
+        with _program_alarm(task.get("timeout_s")):
+            entry.update(_compile_with_cache(task, cache))
+    except ProgramTimeout as exc:
+        # Passed through every inner firewall by design: the worker --
+        # not a per-loop containment scope -- owns the whole-program
+        # budget and the one degraded retry it buys.
+        entry.update(_degraded_retry(task, cache, str(exc)))
     except Exception as exc:  # noqa: BLE001 - worker must survive anything
         entry["status"] = "error"
         entry["error"] = {

@@ -70,12 +70,24 @@ def _config_from_args(args: argparse.Namespace) -> SptConfig:
     """Build the SptConfig for a compile-like command, applying the
     fast-path opt-out flags on top of the named preset."""
     config = CONFIG_FACTORIES[args.config]()
+    overrides = _override_dict_from_args(args)
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _override_dict_from_args(args: argparse.Namespace) -> dict:
+    """The SptConfig overrides shared by all compile-like commands."""
     overrides = {}
     if getattr(args, "no_fast_interp", False):
         overrides["fast_interp"] = False
     if getattr(args, "no_incremental_cost", False):
         overrides["incremental_cost"] = False
-    return config.with_overrides(**overrides) if overrides else config
+    if getattr(args, "search_deadline_ms", None) is not None:
+        overrides["search_deadline_ms"] = args.search_deadline_ms
+    if getattr(args, "phase_deadline_ms", None) is not None:
+        overrides["phase_deadline_ms"] = args.phase_deadline_ms
+    if getattr(args, "no_ladder", False):
+        overrides["enable_degradation_ladder"] = False
+    return overrides
 
 
 def _telemetry_from_args(args: argparse.Namespace):
@@ -314,11 +326,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     from repro.batch import dump_manifest, run_batch
 
-    overrides = {}
-    if args.no_fast_interp:
-        overrides["fast_interp"] = False
-    if args.no_incremental_cost:
-        overrides["incremental_cost"] = False
+    overrides = _override_dict_from_args(args)
 
     telemetry = _telemetry_from_args(args)
 
@@ -352,6 +360,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             cache_max_entries=args.cache_max_entries,
             telemetry=telemetry,
             progress=progress if not args.quiet else None,
+            stall_timeout=args.stall_timeout,
+            program_timeout=args.program_timeout,
         )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
@@ -361,9 +371,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
     cache = stats["cache"]
     print(
         f"batch: {stats['ok']}/{stats['programs']} ok"
-        f" ({stats['errors']} errors, {stats['crashed']} crashed)"
+        f" ({stats['errors']} errors, {stats['crashed']} crashed,"
+        f" {stats['timeouts']} timeouts)"
         f" in {stats['wall_seconds']:.2f}s with {stats['jobs']} jobs"
     )
+    if stats["degradations"] or stats["degraded_programs"]:
+        print(
+            f"resilience: {stats['degradations']} contained degradation(s)"
+            f" across the batch, {stats['degraded_programs']} program(s)"
+            f" finished on the degraded retry"
+        )
     if not args.no_cache:
         print(
             f"cache: {cache['hits']} hits / {cache['misses']} misses"
@@ -517,6 +534,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-incremental-cost", action="store_true",
             help="use full-recompute cost evaluation in the partition search",
         )
+        p.add_argument(
+            "--search-deadline-ms", type=float, default=None, metavar="MS",
+            help="anytime partition-search deadline: on expiry keep the "
+                 "best-so-far legal partition (flagged optimal=false)",
+        )
+        p.add_argument(
+            "--phase-deadline-ms", type=float, default=None, metavar="MS",
+            help="wall-clock watchdog per firewalled pipeline phase; an "
+                 "overrunning phase degrades its loop instead of wedging",
+        )
+        p.add_argument(
+            "--no-ladder", action="store_true",
+            help="disable the graceful-degradation retry ladder (a "
+                 "contained fault skips the loop immediately)",
+        )
 
     def add_obs_options(p):
         p.add_argument(
@@ -619,6 +651,17 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-program progress lines",
+    )
+    batch_p.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="S",
+        help="seconds of total pool silence before remaining tasks are "
+             "declared lost (default: config batch_stall_timeout_s, 60)",
+    )
+    batch_p.add_argument(
+        "--program-timeout", type=float, default=None, metavar="S",
+        help="per-program wall-clock budget in each worker; an "
+             "overrunning program is retried once on the degraded "
+             "ladder configuration, then reported as status=timeout",
     )
     batch_p.set_defaults(fn=cmd_batch)
 

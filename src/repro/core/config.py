@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, fields, replace
+from typing import Optional
 
 
 @dataclass
@@ -24,8 +25,29 @@ class SptConfig:
     #: reports using 30).
     max_violation_candidates: int = 30
     #: Hard cap on branch-and-bound search nodes (safety valve; the
-    #: monotone pruning normally keeps the search tiny).
+    #: monotone pruning normally keeps the search tiny).  Exhaustion is
+    #: surfaced as ``PartitionResult.budget_exhausted`` (and a
+    #: ``search_budget`` degradation record), never silent.
     max_search_nodes: int = 200_000
+    #: Anytime-search wall-clock deadline in milliseconds (None = no
+    #: deadline).  On expiry the search returns its best-so-far legal
+    #: partition flagged ``optimal: false`` -- the empty pre-fork set is
+    #: always a legal seed, so a result always exists.
+    search_deadline_ms: Optional[float] = None
+
+    # -- fault containment (repro.resilience) ---------------------------------
+    #: Wall-clock watchdog armed around each firewalled pipeline phase,
+    #: in milliseconds (None = phases are firewalled but not timed).  A
+    #: phase overrunning it degrades that loop with a
+    #: ``watchdog_timeout`` record instead of wedging the compilation.
+    phase_deadline_ms: Optional[float] = None
+    #: Retry a faulted loop analysis on cheaper configurations
+    #: (no_incremental → small_budget) before skipping the loop.
+    enable_degradation_ladder: bool = True
+    #: Batch-driver stall backstop in seconds: total silence (no
+    #: results, no live claimed work) for this long marks the remaining
+    #: tasks lost (``repro batch --stall-timeout``).
+    batch_stall_timeout_s: float = 60.0
 
     # -- §6.1: SPT loop selection ------------------------------------------
     #: Misspeculation cost threshold, as a fraction of loop body size
@@ -126,6 +148,12 @@ class SptConfig:
             raise ValueError("cycles_per_op must be positive")
         if self.cost_cache_size < 1:
             raise ValueError("cost_cache_size must be positive")
+        if self.search_deadline_ms is not None and self.search_deadline_ms <= 0:
+            raise ValueError("search_deadline_ms must be positive when set")
+        if self.phase_deadline_ms is not None and self.phase_deadline_ms <= 0:
+            raise ValueError("phase_deadline_ms must be positive when set")
+        if self.batch_stall_timeout_s <= 0:
+            raise ValueError("batch_stall_timeout_s must be positive")
 
     def with_overrides(self, **kwargs) -> "SptConfig":
         """A copy with selected fields replaced."""

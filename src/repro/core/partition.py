@@ -26,6 +26,7 @@ from repro.core.vcdep import VCDepGraph
 from repro.core.violation import ViolationCandidate, find_violation_candidates
 from repro.ir.instr import Instr
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.resilience.watchdog import Watchdog
 
 
 class PartitionResult:
@@ -47,6 +48,8 @@ class PartitionResult:
         cost_node_visits: int = 0,
         pruned_size: int = 0,
         pruned_bound: int = 0,
+        budget_exhausted: bool = False,
+        deadline_exhausted: bool = False,
     ):
         self.loop = loop
         self.candidates = candidates
@@ -73,6 +76,13 @@ class PartitionResult:
         #: (cost lower bound) of §5.2.1.
         self.pruned_size = pruned_size
         self.pruned_bound = pruned_bound
+        #: True when the node budget (``max_search_nodes``) actually
+        #: suppressed an expansion: the result is best-so-far, not
+        #: proven optimal.
+        self.budget_exhausted = budget_exhausted
+        #: True when the anytime deadline (``search_deadline_ms``)
+        #: stopped the search early.
+        self.deadline_exhausted = deadline_exhausted
         #: Per-candidate cost breakdown: (vc, in_prefork, marginal)
         #: where ``marginal`` is the cost increase of evicting a
         #: pre-fork candidate / the saving of admitting a post-fork one.
@@ -87,6 +97,16 @@ class PartitionResult:
     def cache_hit_rate(self) -> float:
         requests = self.evaluations + self.cache_hits
         return self.cache_hits / requests if requests else 0.0
+
+    @property
+    def optimal(self) -> bool:
+        """True when the search ran to completion: the returned
+        partition is the proven optimum, not an anytime best-so-far."""
+        return not (
+            self.skipped_too_many_vcs
+            or self.budget_exhausted
+            or self.deadline_exhausted
+        )
 
     def to_dict(self) -> dict:
         """A JSON-serializable summary of the search outcome."""
@@ -104,6 +124,9 @@ class PartitionResult:
             "cost_node_visits": self.cost_node_visits,
             "pruned_size": self.pruned_size,
             "pruned_bound": self.pruned_bound,
+            "optimal": self.optimal,
+            "budget_exhausted": self.budget_exhausted,
+            "deadline_exhausted": self.deadline_exhausted,
         }
 
     def __repr__(self) -> str:
@@ -179,6 +202,16 @@ def find_optimal_partition(
     node_budget = config.max_search_nodes
     pruned_size = 0
     pruned_bound = 0
+    budget_exhausted = False
+    deadline_exhausted = False
+    # Anytime protocol: the search polls this watchdog once per node
+    # and keeps the incumbent (the empty pre-fork set is always a legal
+    # seed, costed above) when the deadline passes.
+    deadline = (
+        Watchdog(deadline_ms=config.search_deadline_ms)
+        if config.search_deadline_ms is not None
+        else None
+    )
 
     def lower_bound(selected: Set[int], cursor: int) -> float:
         """Cost if every candidate beyond ``cursor`` also moved pre-fork."""
@@ -187,10 +220,23 @@ def find_optimal_partition(
         return evaluator.cost(vc_keys(optimistic))
 
     def search(selected: Set[int], cursor: int) -> None:
-        nonlocal best_cost, best_set, search_nodes, pruned_size, pruned_bound
+        nonlocal best_cost, best_set, search_nodes, pruned_size, \
+            pruned_bound, budget_exhausted, deadline_exhausted
         for index in vcdep.addable(selected, cursor):
             if search_nodes >= node_budget:
+                # The flag marks an actually-suppressed expansion, so a
+                # search that finished with exactly budget-many nodes
+                # still counts as proven optimal.
+                budget_exhausted = True
                 return
+            if deadline_exhausted or (
+                deadline is not None and deadline.expired()
+            ):
+                deadline_exhausted = True
+                return
+            # Trap against the innermost phase watchdog (if any), so a
+            # containment deadline can break a runaway search too.
+            Watchdog.poll_current()
             child = selected | {index}
             size = vcdep.partition_size(child)
             if size > size_threshold:
@@ -228,6 +274,8 @@ def find_optimal_partition(
         cost_node_visits=evaluator.node_visits,
         pruned_size=pruned_size,
         pruned_bound=pruned_bound,
+        budget_exhausted=budget_exhausted,
+        deadline_exhausted=deadline_exhausted,
     )
     result.vc_breakdown = _vc_breakdown(
         candidates, best_set, best_cost, evaluator, vc_keys
@@ -240,6 +288,10 @@ def find_optimal_partition(
         telemetry.count("partition.cost_node_visits", evaluator.node_visits)
         telemetry.count("partition.pruned_size", pruned_size)
         telemetry.count("partition.pruned_bound", pruned_bound)
+        if budget_exhausted:
+            telemetry.count("partition.budget_exhausted")
+        if deadline_exhausted:
+            telemetry.count("partition.deadline_exhausted")
     return result
 
 

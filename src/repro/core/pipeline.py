@@ -46,6 +46,9 @@ from repro.core.violation import find_violation_candidates
 from repro.ir.function import Module
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.profiling.compiled import make_machine
+from repro.resilience.containment import run_contained
+from repro.resilience.degradation import DegradationRecord, KIND_SEARCH_BUDGET
+from repro.resilience.ladder import RUNG_FULL, RUNG_SKIP, ladder_rungs
 from repro.profiling.dep_profile import DependenceProfile
 from repro.profiling.edge_profile import EdgeProfile
 from repro.profiling.interp import Machine
@@ -84,6 +87,11 @@ class CompilationResult:
         self.region_splits: List = []
         #: (func_name, header) -> PartitionResult for the final analysis.
         self.partitions: Dict[Tuple[str, str], PartitionResult] = {}
+        #: Every fault the phase firewalls contained (and every budget
+        #: the anytime machinery exhausted), in pipeline order.  A
+        #: non-empty list means the compilation degraded somewhere but
+        #: still completed.
+        self.degradations: List[DegradationRecord] = []
 
     def category_histogram(self) -> Dict[str, int]:
         return category_histogram(self.candidates)
@@ -111,6 +119,8 @@ class CompilationResult:
             entry["rejection"] = c.rejection.to_dict()
         if c.transform_error is not None:
             entry["transform_error"] = c.transform_error
+        if c.degradation is not None:
+            entry["degradation"] = c.degradation.to_dict()
         if c.partition is not None and not c.partition.skipped_too_many_vcs:
             entry["misspeculation_cost"] = round(c.partition.cost, 4)
             entry["prefork_size"] = round(c.partition.prefork_size, 2)
@@ -121,6 +131,7 @@ class CompilationResult:
                 c.partition.cache_hit_rate, 4
             )
             entry["cost_node_visits"] = c.partition.cost_node_visits
+            entry["optimal"] = c.partition.optimal
         return entry
 
     def loop_records(self) -> List[Dict]:
@@ -159,6 +170,7 @@ class CompilationResult:
                 for info in self.svp_infos
             ],
             "region_splits": [split.to_dict() for split in self.region_splits],
+            "degradations": [d.to_dict() for d in self.degradations],
             "unrolled": {
                 name: report.unrolled
                 for name, report in self.unroll_reports.items()
@@ -175,10 +187,11 @@ class CompilationResult:
 
 def _profile(
     module: Module, workload: Workload, tracers, fast: bool = True,
-    telemetry=NULL_TELEMETRY,
+    telemetry=NULL_TELEMETRY, watchdog=None,
 ) -> None:
     machine = make_machine(
-        module, fuel=workload.fuel, fast=fast, telemetry=telemetry
+        module, fuel=workload.fuel, fast=fast, telemetry=telemetry,
+        watchdog=watchdog,
     )
     for name, fn in workload.intrinsics.items():
         machine.register_intrinsic(name, fn)
@@ -196,12 +209,18 @@ def _analyze_loop(
     dep_profile: Optional[DependenceProfile],
     modref: Optional[ModRefSummaries],
     telemetry=NULL_TELEMETRY,
-) -> Tuple[LoopCandidate, Optional[LoopDepGraph]]:
-    """Run the pass-1 core (Figure 3) on one loop."""
+    rung: str = RUNG_FULL,
+) -> Tuple[Optional[LoopCandidate], Optional[LoopDepGraph],
+           Optional[DegradationRecord]]:
+    """Run the pass-1 core (Figure 3) on one loop.
+
+    Returns ``(candidate, graph, None)`` on success or
+    ``(None, graph-or-None, record)`` when a phase firewall contained a
+    fault -- the ladder driver decides whether to retry cheaper."""
     with telemetry.span("analyze_loop", function=func.name, loop=loop.header):
         return _analyze_loop_inner(
             module, func, loop, config, edge_profile, dep_profile, modref,
-            telemetry,
+            telemetry, rung,
         )
 
 
@@ -214,14 +233,48 @@ def _analyze_loop_inner(
     dep_profile: Optional[DependenceProfile],
     modref: Optional[ModRefSummaries],
     telemetry=NULL_TELEMETRY,
-) -> Tuple[LoopCandidate, Optional[LoopDepGraph]]:
-    cfg = CFG.build(func)
-    trip = edge_profile.trip_count(func, loop, cfg)
-    iterations = edge_profile.loop_iterations(func, loop, cfg)
+    rung: str = RUNG_FULL,
+) -> Tuple[Optional[LoopCandidate], Optional[LoopDepGraph],
+           Optional[DegradationRecord]]:
+    loop_key = f"{func.name}:{loop.header}"
+    rung_label = None if rung == RUNG_FULL else rung
 
-    try:
-        check_transformable(func, loop, cfg)
-    except TransformError as exc:
+    # -- dep-graph phase (firewalled): CFG, trip counts, the
+    # transformability check, and the annotated dependence graph.
+    def _build(watchdog):
+        cfg = CFG.build(func)
+        trip = edge_profile.trip_count(func, loop, cfg)
+        iterations = edge_profile.loop_iterations(func, loop, cfg)
+        try:
+            check_transformable(func, loop, cfg)
+        except TransformError as exc:
+            # An untransformable loop is an expected §6.1 category, not
+            # a fault -- report it as data, don't let the firewall
+            # degrade it.
+            return None, trip, iterations, str(exc)
+        dep_view = dep_profile.view(func.name, loop) if dep_profile else None
+        graph = build_dep_graph(
+            module,
+            func,
+            loop,
+            edge_profile=edge_profile,
+            dep_profile=dep_view,
+            static_mem_prob=config.static_mem_prob,
+            static_call_prob=config.static_call_prob,
+            modref=modref,
+        )
+        if config.enable_privatization:
+            privatize(graph)
+        return graph, trip, iterations, None
+
+    built, record = run_contained(
+        "depgraph", _build, telemetry=telemetry,
+        deadline_ms=config.phase_deadline_ms, loop=loop_key, rung=rung,
+    )
+    if record is not None:
+        return None, None, record
+    graph, trip, iterations, transform_error = built
+    if graph is None:
         candidate = LoopCandidate(
             func.name,
             loop,
@@ -231,7 +284,7 @@ def _analyze_loop_inner(
             total_iterations=iterations,
             irregular=True,
         )
-        candidate.transform_error = str(exc)
+        candidate.transform_error = transform_error
         if telemetry.enabled:
             telemetry.count("pipeline.loops_irregular")
             telemetry.event(
@@ -239,28 +292,26 @@ def _analyze_loop_inner(
                 function=func.name,
                 loop=loop.header,
                 stage="check_transformable",
-                error=str(exc),
+                error=transform_error,
             )
-        return candidate, None
+        return candidate, None, None
 
-    dep_view = dep_profile.view(func.name, loop) if dep_profile else None
-    graph = build_dep_graph(
-        module,
-        func,
-        loop,
-        edge_profile=edge_profile,
-        dep_profile=dep_view,
-        static_mem_prob=config.static_mem_prob,
-        static_call_prob=config.static_call_prob,
-        modref=modref,
-    )
-    if config.enable_privatization:
-        privatize(graph)
+    # -- cost-graph + partition-search phase (firewalled) ----------------
+    def _search(watchdog):
+        dynamic_size = sum(
+            info.instr.cost * info.reach for info in graph.info.values()
+        )
+        partition = find_optimal_partition(graph, config, telemetry=telemetry)
+        return dynamic_size, partition
 
-    dynamic_size = sum(
-        info.instr.cost * info.reach for info in graph.info.values()
+    searched, record = run_contained(
+        "search", _search, telemetry=telemetry,
+        deadline_ms=config.phase_deadline_ms, loop=loop_key, rung=rung,
     )
-    partition = find_optimal_partition(graph, config, telemetry=telemetry)
+    if record is not None:
+        return None, graph, record
+    dynamic_size, partition = searched
+
     candidate = LoopCandidate(
         func.name,
         loop,
@@ -269,9 +320,102 @@ def _analyze_loop_inner(
         trip_count=trip,
         total_iterations=iterations,
     )
+    if partition.budget_exhausted or partition.deadline_exhausted:
+        # The anytime machinery truncated the search: the partition is
+        # legal but possibly sub-optimal.  Surface that as a
+        # search_budget degradation without changing the candidate's
+        # selection category.
+        budget_record = DegradationRecord(
+            phase="search",
+            kind=KIND_SEARCH_BUDGET,
+            message=(
+                "anytime deadline expired; best-so-far partition kept"
+                if partition.deadline_exhausted
+                else "node budget exhausted; best-so-far partition kept"
+            ),
+            loop=loop_key,
+            rung=rung_label,
+        )
+        candidate.degradation = budget_record
+        telemetry.record_degradation(budget_record)
     if telemetry.enabled:
         telemetry.count("pipeline.loops_analyzed")
-    return candidate, graph
+    return candidate, graph, None
+
+
+def _analyze_loop_resilient(
+    module: Module,
+    func,
+    loop: Loop,
+    config: SptConfig,
+    edge_profile: EdgeProfile,
+    dep_profile: Optional[DependenceProfile],
+    modref: Optional[ModRefSummaries],
+    telemetry=NULL_TELEMETRY,
+) -> Tuple[LoopCandidate, Optional[LoopDepGraph], List[DegradationRecord]]:
+    """The degradation-ladder driver around :func:`_analyze_loop`.
+
+    Retries a faulted loop analysis on successively cheaper rungs
+    (full → no_incremental → small_budget) and finally skips the loop
+    -- the sequential fallback the SPT model guarantees is always
+    legal.  Never raises (:data:`~repro.resilience.containment.
+    PASSTHROUGH` excepted); always returns a candidate, plus every
+    degradation record the attempts produced."""
+    loop_key = f"{func.name}:{loop.header}"
+    records: List[DegradationRecord] = []
+    for rung, rung_config in ladder_rungs(config):
+        candidate, graph, record = _analyze_loop(
+            module, func, loop, rung_config, edge_profile, dep_profile,
+            modref, telemetry, rung=rung,
+        )
+        if record is None:
+            if candidate.degradation is not None:
+                records.append(candidate.degradation)
+            elif rung != RUNG_FULL:
+                candidate.degradation = records[-1] if records else None
+            if rung != RUNG_FULL and telemetry.enabled:
+                telemetry.count("resilience.ladder.recovered")
+                telemetry.event(
+                    "resilience.ladder",
+                    loop=loop_key,
+                    rung=rung,
+                    outcome="recovered",
+                )
+            return candidate, graph, records
+        records.append(record)
+        if telemetry.enabled:
+            telemetry.count(f"resilience.ladder.{rung}")
+            telemetry.event(
+                "resilience.ladder",
+                loop=loop_key,
+                rung=rung,
+                outcome="faulted",
+                kind=record.kind,
+            )
+    # Every rung faulted: the loop stays sequential.
+    if telemetry.enabled:
+        telemetry.count(f"resilience.ladder.{RUNG_SKIP}")
+        telemetry.event(
+            "resilience.ladder", loop=loop_key, rung=RUNG_SKIP,
+            outcome="skipped",
+        )
+    try:
+        cfg = CFG.build(func)
+        trip = edge_profile.trip_count(func, loop, cfg)
+        iterations = edge_profile.loop_iterations(func, loop, cfg)
+        body = float(loop.body_size(func))
+    except Exception:  # noqa: BLE001 - last-resort fallback values
+        trip, iterations, body = 0.0, 0, 0.0
+    candidate = LoopCandidate(
+        func.name,
+        loop,
+        partition=None,
+        dynamic_body_size=body,
+        trip_count=trip,
+        total_iterations=iterations,
+    )
+    candidate.degradation = records[-1] if records else None
+    return candidate, None, records
 
 
 def compile_spt(
@@ -314,10 +458,21 @@ def compile_spt(
         if config.enable_dep_profiling:
             dep_profile = DependenceProfile(module)
             tracers.append(dep_profile)
-        _profile(
-            module, workload, tracers, fast=config.fast_interp,
+        # Firewalled: a profiling fault (fuel exhaustion, interpreter
+        # error, injected chaos) leaves partial profiles behind -- loops
+        # the run never reached profile as never-entered, which the
+        # selection criteria reject safely -- instead of aborting.
+        _, record = run_contained(
+            "profile",
+            lambda wd: _profile(
+                module, workload, tracers, fast=config.fast_interp,
+                telemetry=telemetry, watchdog=wd,
+            ),
             telemetry=telemetry,
+            deadline_ms=config.phase_deadline_ms,
         )
+        if record is not None:
+            result.degradations.append(record)
         result.edge_profile = edge_profile
         result.dep_profile = dep_profile
 
@@ -330,10 +485,11 @@ def compile_spt(
         for func in module.functions.values():
             nest = LoopNest.build(func)
             for loop in nest.loops:
-                candidate, graph = _analyze_loop(
+                candidate, graph, records = _analyze_loop_resilient(
                     module, func, loop, config, edge_profile, dep_profile,
                     modref, telemetry,
                 )
+                result.degradations.extend(records)
                 candidates.append(candidate)
                 if graph is not None:
                     graphs[(func.name, loop.header)] = graph
@@ -341,18 +497,29 @@ def compile_spt(
     # -- SVP round (§7.2) ------------------------------------------------------
     if config.enable_svp:
         with telemetry.span("svp"):
-            candidates, graphs = _svp_round(
-                module,
-                config,
-                workload,
-                candidates,
-                graphs,
-                edge_profile,
-                dep_profile,
-                modref,
-                result,
-                telemetry,
+            # Firewalled as a whole: an SVP-round fault keeps the
+            # pass-1 candidates (already legal) instead of aborting.
+            svp_out, record = run_contained(
+                "svp",
+                lambda wd: _svp_round(
+                    module,
+                    config,
+                    workload,
+                    candidates,
+                    graphs,
+                    edge_profile,
+                    dep_profile,
+                    modref,
+                    result,
+                    telemetry,
+                ),
+                telemetry=telemetry,
+                deadline_ms=config.phase_deadline_ms,
             )
+            if record is not None:
+                result.degradations.append(record)
+            else:
+                candidates, graphs = svp_out
 
     result.candidates = candidates
     for candidate in candidates:
@@ -376,7 +543,17 @@ def compile_spt(
                 if graph is None:
                     continue
                 func = module.function(candidate.func_name)
-                split = choose_region_split(func, candidate.loop, graph, config)
+                split, record = run_contained(
+                    "region_splits",
+                    lambda wd, f=func, c=candidate, g=graph:
+                        choose_region_split(f, c.loop, g, config),
+                    telemetry=telemetry,
+                    deadline_ms=config.phase_deadline_ms,
+                    loop=candidate.key,
+                )
+                if record is not None:
+                    result.degradations.append(record)
+                    continue
                 if split is not None:
                     result.region_splits.append(split)
                     if telemetry.enabled:
@@ -402,19 +579,28 @@ def compile_spt(
         for candidate in selected:
             func = module.function(candidate.func_name)
             graph = graphs.get((candidate.func_name, candidate.loop.header))
-            try:
-                info = transform_loop(
-                    module, func, candidate.loop, candidate.partition, graph
-                )
-            except TransformError as exc:
-                # The loop keeps its pass-1 category (the histogram still
-                # reflects the selection decision); the failure itself is
-                # recorded on the candidate for diagnosis.
+            # Firewalled per loop: any transform failure -- the
+            # expected TransformError or anything else -- deselects
+            # exactly this loop.  The loop keeps its pass-1 category
+            # (the histogram still reflects the selection decision);
+            # the failure itself is recorded on the candidate.
+            info, record = run_contained(
+                "transform",
+                lambda wd, f=func, c=candidate, g=graph: transform_loop(
+                    module, f, c.loop, c.partition, g
+                ),
+                telemetry=telemetry,
+                deadline_ms=config.phase_deadline_ms,
+                loop=candidate.key,
+            )
+            if record is not None:
                 candidate.selected = False
-                candidate.transform_error = str(exc)
+                candidate.transform_error = record.message
                 candidate.rejection = RejectionReason(
-                    "transform_error", detail=str(exc)
+                    "transform_error", detail=record.message
                 )
+                candidate.degradation = record
+                result.degradations.append(record)
                 if telemetry.enabled:
                     telemetry.count("transform.failed")
                     telemetry.event(
@@ -422,7 +608,7 @@ def compile_spt(
                         function=candidate.func_name,
                         loop=candidate.loop.header,
                         stage="transform_loop",
-                        error=str(exc),
+                        error=record.message,
                     )
                 continue
             result.spt_loops.append(info)
@@ -509,10 +695,11 @@ def _svp_round(
         if not matching:
             new_candidates.append(candidate)
             continue
-        refreshed, graph = _analyze_loop(
+        refreshed, graph, records = _analyze_loop_resilient(
             module, func, matching[0], config, edge_profile, dep_profile,
             modref, telemetry,
         )
+        result.degradations.extend(records)
         refreshed.svp_applied = True
         new_candidates.append(refreshed)
         if graph is not None:

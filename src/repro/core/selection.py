@@ -34,6 +34,10 @@ CATEGORY_LOW_TRIP = "low_trip_count"
 CATEGORY_IRREGULAR = "irregular_control_flow"
 CATEGORY_NEST_CONFLICT = "nest_conflict"
 CATEGORY_NO_BENEFIT = "no_estimated_benefit"
+#: A fault was contained while analyzing the loop and the degradation
+#: ladder ran out of rungs: the loop stays sequential (always legal
+#: under the SPT model), with the fault recorded on the candidate.
+CATEGORY_CONTAINED = "contained_fault"
 
 ALL_CATEGORIES = (
     CATEGORY_VALID,
@@ -45,6 +49,7 @@ ALL_CATEGORIES = (
     CATEGORY_IRREGULAR,
     CATEGORY_NEST_CONFLICT,
     CATEGORY_NO_BENEFIT,
+    CATEGORY_CONTAINED,
 )
 
 
@@ -120,6 +125,11 @@ class LoopCandidate:
         #: Message of the TransformError that stopped this loop (either
         #: the pass-1 transformability check or the pass-2 transform).
         self.transform_error: Optional[str] = None
+        #: The contained fault that degraded this loop (a
+        #: :class:`repro.resilience.DegradationRecord`), or None.  Set
+        #: by the pipeline's firewalls; makes the fault a first-class
+        #: rejection category instead of an aborted compilation.
+        self.degradation = None
 
     @property
     def key(self) -> str:
@@ -141,6 +151,17 @@ def diagnose(
     if candidate.irregular:
         detail = candidate.transform_error or "control flow not transformable"
         return CATEGORY_IRREGULAR, RejectionReason("transformable", detail=detail)
+    # Contained faults are diagnosed before the partition check: a
+    # degraded loop usually has no partition, and attributing it to
+    # "too many VCs" would misreport the real cause.
+    if candidate.degradation is not None and candidate.partition is None:
+        record = candidate.degradation
+        return CATEGORY_CONTAINED, RejectionReason(
+            "contained_fault",
+            detail=f"{record.kind} in {record.phase}: {record.message}".rstrip(
+                ": "
+            ),
+        )
     partition = candidate.partition
     if partition is None or partition.skipped_too_many_vcs:
         measured = float(len(partition.candidates)) if partition else None

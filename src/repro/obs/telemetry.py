@@ -236,6 +236,18 @@ class Telemetry:
         for sink in self.sinks:
             sink.on_event(event)
 
+    def record_degradation(self, record) -> None:
+        """Count and emit one contained fault.
+
+        ``record`` is a :class:`repro.resilience.DegradationRecord`
+        (typed loosely here so the obs layer never imports the
+        resilience package).  Every firewall routes through this, so
+        ``resilience.contained`` is the one counter chaos CI asserts on.
+        """
+        self.count("resilience.contained")
+        self.count(f"resilience.contained.{record.kind}")
+        self.event("resilience.degradation", **record.to_dict())
+
     # -- lifecycle --------------------------------------------------------
 
     def add_sink(self, sink) -> None:
@@ -295,6 +307,9 @@ class NullTelemetry:
         pass
 
     def event(self, name: str, **attrs) -> None:
+        pass
+
+    def record_degradation(self, record) -> None:
         pass
 
     def close(self) -> None:

@@ -595,6 +595,8 @@ class _CompiledFunction:
             machine.executed += cb.fuel
             if machine.executed > fuel:
                 raise FuelExhausted(f"exceeded {fuel} dynamic instructions")
+            if machine.watchdog is not None:
+                machine.watchdog.poll()
 
             if on_block:
                 for t in on_block:
@@ -647,8 +649,13 @@ class CompiledMachine(Machine):
     invoked, so modules mutated between runs are always re-lowered.
     """
 
-    def __init__(self, module: Module, fuel: int = 50_000_000, telemetry=None):
-        super().__init__(module, fuel=fuel, telemetry=telemetry)
+    def __init__(
+        self, module: Module, fuel: int = 50_000_000, telemetry=None,
+        watchdog=None,
+    ):
+        super().__init__(
+            module, fuel=fuel, telemetry=telemetry, watchdog=watchdog
+        )
         self._hooks: Optional[_Hooks] = None
         self._code: Dict[str, _CompiledFunction] = {}
 
@@ -671,9 +678,12 @@ class CompiledMachine(Machine):
 
 
 def make_machine(
-    module: Module, fuel: int = 50_000_000, fast: bool = True, telemetry=None
+    module: Module, fuel: int = 50_000_000, fast: bool = True, telemetry=None,
+    watchdog=None,
 ) -> Machine:
     """Build the fast machine, or the reference one with ``fast=False``."""
     if fast:
-        return CompiledMachine(module, fuel=fuel, telemetry=telemetry)
-    return Machine(module, fuel=fuel, telemetry=telemetry)
+        return CompiledMachine(
+            module, fuel=fuel, telemetry=telemetry, watchdog=watchdog
+        )
+    return Machine(module, fuel=fuel, telemetry=telemetry, watchdog=watchdog)

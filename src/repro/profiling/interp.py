@@ -193,12 +193,19 @@ class Frame:
 class Machine:
     """Interpreter state: module, flat memory, symbol table, intrinsics."""
 
-    def __init__(self, module: Module, fuel: int = 50_000_000, telemetry=None):
+    def __init__(
+        self, module: Module, fuel: int = 50_000_000, telemetry=None,
+        watchdog=None,
+    ):
         self.module = module
         self.fuel = fuel
         #: Telemetry collector; the NULL singleton keeps the hot path
         #: to a single ``enabled`` check per :meth:`run`.
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: Optional :class:`repro.resilience.Watchdog`; polled
+        #: (amortized) at every fuel spend so a phase deadline can break
+        #: a wedged or runaway profiling run.
+        self.watchdog = watchdog
         self.executed = 0
         #: Flat word-addressed memory.
         self.memory: List = []
@@ -374,6 +381,8 @@ class Machine:
         self.executed += 1
         if self.executed > self.fuel:
             raise FuelExhausted(f"exceeded {self.fuel} dynamic instructions")
+        if self.watchdog is not None:
+            self.watchdog.poll()
 
     def _exec_instr(self, frame: Frame, instr: Instr):
         env = frame.env

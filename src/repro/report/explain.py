@@ -79,6 +79,23 @@ def explain_loop_text(
             f"{partition.pruned_size} subtrees cut by size bound, "
             f"{partition.pruned_bound} by cost lower bound"
         )
+        if not partition.optimal:
+            causes = []
+            if partition.budget_exhausted:
+                causes.append(
+                    f"node budget ({config.max_search_nodes}) exhausted"
+                )
+            if partition.deadline_exhausted:
+                causes.append(
+                    f"anytime deadline ({config.search_deadline_ms:g} ms)"
+                    " expired"
+                )
+            lines.append(
+                "  optimality     best-so-far, NOT proven optimal: "
+                + "; ".join(causes)
+            )
+        else:
+            lines.append("  optimality     proven optimal (search completed)")
         if partition.vc_breakdown:
             lines.append(
                 f"  violation candidates ({len(partition.vc_breakdown)}):"
@@ -118,6 +135,8 @@ def explain_loop_text(
         lines.append(f"  rejection      {candidate.rejection}")
     if candidate.transform_error is not None:
         lines.append(f"  transform err  {candidate.transform_error}")
+    if candidate.degradation is not None:
+        lines.append(f"  degradation    {candidate.degradation}")
     verdict_line = (
         "selected as SPT loop and transformed"
         if candidate.selected
@@ -155,6 +174,11 @@ def explain_text(
         f"{len(result.candidates)} loop candidates, "
         f"{len(result.selected)} selected  [{summary}]"
     )
+    if result.degradations:
+        degradation_lines = [
+            f"{len(result.degradations)} contained degradation(s):"
+        ] + [f"  {record}" for record in result.degradations]
+        sections.append("\n".join(degradation_lines))
     return "\n\n".join([header] + sections)
 
 

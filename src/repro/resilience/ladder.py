@@ -1,0 +1,95 @@
+"""The graceful-degradation ladder: retry a faulted loop ever cheaper.
+
+When a per-loop analysis phase faults, the pipeline does not give up on
+the loop immediately: it retries the analysis on successively cheaper
+rungs before falling back to the always-legal "keep it sequential"
+baseline.
+
+====================  =====================================================
+rung                  what changes
+====================  =====================================================
+``full``              the configured analysis (not a retry)
+``no_incremental``    incremental cost evaluation disabled -- the full
+                      recompute evaluator is the reference implementation
+                      and has no cache/frontier state to corrupt
+``small_budget``      tiny search-node budget plus a short anytime
+                      deadline -- the search returns a best-so-far legal
+                      partition almost immediately
+``skip``              the loop stays sequential (a degraded
+                      :class:`~repro.core.selection.LoopCandidate`)
+====================  =====================================================
+
+Each rung taken is counted (``resilience.ladder.<rung>``) and emitted
+as an obs event, so a production batch can alert when loops start
+sliding down the ladder.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+if TYPE_CHECKING:  # import at runtime would cycle back through repro.core
+    from repro.core.config import SptConfig
+
+__all__ = [
+    "LADDER_SEARCH_DEADLINE_MS",
+    "LADDER_SEARCH_NODES",
+    "RUNG_FULL",
+    "RUNG_NO_INCREMENTAL",
+    "RUNG_SKIP",
+    "RUNG_SMALL_BUDGET",
+    "degraded_retry_overrides",
+    "ladder_rungs",
+]
+
+RUNG_FULL = "full"
+RUNG_NO_INCREMENTAL = "no_incremental"
+RUNG_SMALL_BUDGET = "small_budget"
+RUNG_SKIP = "skip"
+
+#: Node budget / anytime deadline of the ``small_budget`` rung.
+LADDER_SEARCH_NODES = 2_000
+LADDER_SEARCH_DEADLINE_MS = 100.0
+
+
+def ladder_rungs(config: SptConfig) -> Iterator[Tuple[str, SptConfig]]:
+    """Yield (rung name, config) from most to least capable.
+
+    The first rung is always the configured analysis itself; retry
+    rungs follow only when the ladder is enabled.  ``skip`` is not
+    yielded -- it is what the caller does when the ladder runs out.
+    """
+    yield RUNG_FULL, config
+    if not config.enable_degradation_ladder:
+        return
+    yield RUNG_NO_INCREMENTAL, config.with_overrides(incremental_cost=False)
+    yield RUNG_SMALL_BUDGET, config.with_overrides(
+        incremental_cost=False,
+        max_search_nodes=min(config.max_search_nodes, LADDER_SEARCH_NODES),
+        search_deadline_ms=(
+            LADDER_SEARCH_DEADLINE_MS
+            if config.search_deadline_ms is None
+            else min(config.search_deadline_ms, LADDER_SEARCH_DEADLINE_MS)
+        ),
+    )
+
+
+def degraded_retry_overrides(config: SptConfig) -> dict:
+    """Config overrides for the batch worker's one post-timeout retry.
+
+    Everything expensive or unbounded is dialed down: feedback passes
+    off, search budgets tiny, and a phase deadline armed so even an
+    uncooperative hang inside a phase is broken by the watchdog instead
+    of a second SIGALRM."""
+    return {
+        "enable_svp": False,
+        "enable_dep_profiling": False,
+        "incremental_cost": False,
+        "max_search_nodes": min(config.max_search_nodes, LADDER_SEARCH_NODES),
+        "search_deadline_ms": LADDER_SEARCH_DEADLINE_MS,
+        "phase_deadline_ms": (
+            config.phase_deadline_ms
+            if config.phase_deadline_ms is not None
+            else 2_000.0
+        ),
+    }

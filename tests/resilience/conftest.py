@@ -1,0 +1,33 @@
+"""Shared fixtures for the resilience / chaos test suite."""
+
+import pytest
+
+from repro.resilience.faults import FAULT_ENV_VAR, HANG_ENV_VAR, reset_fault_state
+
+#: A corpus program whose guard loop is selected under the best config
+#: (so every firewalled phase -- profile, depgraph, search, svp,
+#: transform -- actually runs on it).
+PROGRAM = """
+global int data[64];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 63];
+        int y = (x * 11 + i) ^ (x >> 1);
+        data[i & 63] = y & 127;
+        s += y & 7;
+    }
+    return s;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Every test starts with no armed faults and zero fire counts."""
+    monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+    monkeypatch.delenv(HANG_ENV_VAR, raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()

@@ -1,0 +1,191 @@
+"""Anytime partition search: deadline and node-budget semantics.
+
+The contract under test:
+
+* **No pressure** -- an armed-but-never-expiring deadline changes
+  nothing: results are bitwise identical to the deadline-free search,
+  on the golden corpus and on generated programs.
+* **Pressure** -- a tiny deadline (or node budget) truncates the
+  search but the returned best-so-far partition is still *legal*
+  (downward-closed, size-bounded, cost recomputes from scratch) and is
+  explicitly flagged ``optimal: false``.
+* **Boundary** -- a search that finishes using exactly budget-many
+  nodes suppressed nothing and stays proven optimal.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.core.config import SptConfig, best_config
+from repro.core.costgraph import build_cost_graph
+from repro.core.costmodel import CostEvaluator
+from repro.core.partition import find_optimal_partition
+from repro.core.pipeline import Workload, compile_spt
+from repro.core.vcdep import VCDepGraph
+from repro.core.violation import find_violation_candidates
+from repro.frontend import compile_minic
+from repro.report.explain import explain_text
+from repro.resilience.degradation import KIND_SEARCH_BUDGET
+from repro.testkit.generator import generate_program
+from repro.testkit.oracles import _analyzable_loops
+
+from .conftest import PROGRAM
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "golden", "corpus"
+)
+
+#: A deadline that can never fire within a test run.
+HUGE_DEADLINE_MS = 600_000.0
+#: A deadline that has already passed by the first clock read.
+TINY_DEADLINE_MS = 1e-4
+
+
+def _loops_with_candidates(source):
+    for module, func, loop, graph in _analyzable_loops(source):
+        if find_violation_candidates(graph):
+            yield module, func, loop, graph
+
+
+def assert_legal_partition(result, graph, config):
+    """The oracle-3 legality conditions on a reported partition."""
+    candidates = find_violation_candidates(graph)
+    forced = {
+        vc.instr
+        for vc in candidates
+        if graph.info[vc.instr].block == graph.loop.header
+    }
+    searchable = [vc for vc in candidates if vc.instr not in forced]
+    vcdep = VCDepGraph(graph, searchable)
+    index_of = {id(vc.instr): i for i, vc in enumerate(vcdep.candidates)}
+    selected = set()
+    for vc in result.prefork_vcs:
+        index = index_of.get(id(vc.instr))
+        assert index is not None, "pre-fork VC not among searchable"
+        selected.add(index)
+    assert vcdep.downward_closed(selected)
+    threshold = config.prefork_size_threshold(result.body_size)
+    if selected:
+        assert result.prefork_size <= threshold + 1e-9
+    cg = build_cost_graph(graph, candidates)
+    keys = {vc.instr for vc in result.prefork_vcs} | forced
+    recomputed = CostEvaluator(cg).cost(keys)
+    assert abs(recomputed - result.cost) <= 1e-12
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(glob.glob(os.path.join(CORPUS_DIR, "*.c"))),
+    ids=os.path.basename,
+)
+def test_no_pressure_is_bitwise_identical_on_corpus(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    baseline = compile_spt(
+        compile_minic(source), best_config(), Workload(args=(96,))
+    )
+    armed = compile_spt(
+        compile_minic(source),
+        best_config().with_overrides(search_deadline_ms=HUGE_DEADLINE_MS),
+        Workload(args=(96,)),
+    )
+    assert armed.to_dict() == baseline.to_dict()
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_no_pressure_is_bitwise_identical_on_generated(seed):
+    source = generate_program(seed).source()
+    config = SptConfig()
+    armed = SptConfig().with_overrides(search_deadline_ms=HUGE_DEADLINE_MS)
+    for _module, _func, _loop, graph in _loops_with_candidates(source):
+        baseline = find_optimal_partition(graph, config)
+        result = find_optimal_partition(graph, armed)
+        assert result.to_dict() == baseline.to_dict()
+
+
+def test_tiny_deadline_returns_legal_flagged_partition():
+    config = SptConfig().with_overrides(search_deadline_ms=TINY_DEADLINE_MS)
+    checked = 0
+    for _module, _func, _loop, graph in _loops_with_candidates(PROGRAM):
+        unconstrained = find_optimal_partition(graph, SptConfig())
+        result = find_optimal_partition(graph, config)
+        if unconstrained.search_nodes <= 1:
+            continue  # nothing to truncate on this loop
+        checked += 1
+        assert result.deadline_exhausted
+        assert not result.optimal
+        assert result.to_dict()["optimal"] is False
+        assert result.to_dict()["deadline_exhausted"] is True
+        # Best-so-far after zero expansions is the always-legal seed.
+        assert_legal_partition(result, graph, config)
+    assert checked >= 1
+
+
+def test_tiny_node_budget_returns_legal_flagged_partition():
+    checked = 0
+    for _module, _func, _loop, graph in _loops_with_candidates(PROGRAM):
+        unconstrained = find_optimal_partition(graph, SptConfig())
+        if unconstrained.search_nodes <= 1:
+            continue
+        config = SptConfig().with_overrides(max_search_nodes=1)
+        result = find_optimal_partition(graph, config)
+        checked += 1
+        assert result.budget_exhausted
+        assert not result.optimal
+        assert result.to_dict()["budget_exhausted"] is True
+        assert_legal_partition(result, graph, config)
+    assert checked >= 1
+
+
+def test_exact_budget_finish_stays_optimal():
+    # budget_exhausted marks an actually-suppressed expansion: a search
+    # that used exactly budget-many nodes proved its optimum.
+    for _module, _func, _loop, graph in _loops_with_candidates(PROGRAM):
+        unconstrained = find_optimal_partition(graph, SptConfig())
+        if unconstrained.skipped_too_many_vcs:
+            continue
+        config = SptConfig().with_overrides(
+            max_search_nodes=unconstrained.search_nodes
+        )
+        result = find_optimal_partition(graph, config)
+        assert not result.budget_exhausted
+        assert result.optimal
+        assert result.cost == unconstrained.cost
+        assert result.search_nodes == unconstrained.search_nodes
+
+
+def test_pipeline_records_search_budget_degradation():
+    config = best_config().with_overrides(
+        search_deadline_ms=TINY_DEADLINE_MS
+    )
+    module = compile_minic(PROGRAM)
+    result = compile_spt(module, config, Workload(args=(32,)))
+    kinds = {record.kind for record in result.degradations}
+    assert KIND_SEARCH_BUDGET in kinds
+    truncated = [
+        c
+        for c in result.candidates
+        if c.partition is not None
+        and not c.partition.skipped_too_many_vcs
+        and c.partition.deadline_exhausted
+    ]
+    assert truncated
+    report = explain_text(result, config)
+    assert "NOT proven optimal" in report
+    assert "anytime deadline" in report
+    assert "contained degradation(s):" in report
+
+
+def test_pipeline_optimal_flag_in_summaries():
+    config = best_config()
+    module = compile_minic(PROGRAM)
+    result = compile_spt(module, config, Workload(args=(32,)))
+    summary = result.to_dict()
+    with_partition = [e for e in summary["candidates"] if "optimal" in e]
+    assert with_partition
+    for entry in with_partition:
+        assert entry["optimal"] is True
+    report = explain_text(result, config)
+    assert "proven optimal (search completed)" in report
