@@ -9,7 +9,7 @@ import json
 import os
 import time
 
-from conftest import RESULTS_DIR, bench_rng
+from conftest import RESULTS_DIR, bench_rng, emit_json
 
 from repro.analysis.cfg import CFG
 from repro.analysis.depgraph import build_dep_graph
@@ -337,13 +337,78 @@ def test_batch_driver_trajectory(tmp_path):
         "warm_cache_speedup": round(cold_jobs1 / warm_jobs1, 3),
         "warm_hit_rate": round(hit_rate, 4),
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_batch.json")
-    with open(path, "w") as handle:
-        json.dump(trajectory, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    emit_json("BENCH_batch", trajectory)
     print(f"\nbatch trajectory: {trajectory}")
 
     assert hit_rate >= 0.9
     assert trajectory["warm_cache_speedup"] > 1.0
     assert trajectory["parallel_speedup"] > 0.0
+
+
+def test_trace_interp_speedup():
+    """Tentpole acceptance for the trace-compiled simulator: on the
+    paper's evaluation workloads (the fig14-fig19 suite), hot-trace
+    execution with the vectorized timing engine must produce bitwise-
+    identical cycles/instructions to the block-compiled fast path with
+    a per-op ``TimingTracer`` -- and be at least 5x faster in aggregate
+    (target 10x).  Emits BENCH_interp.json so future PRs can track the
+    trajectory per benchmark."""
+    from repro.benchsuite.runner import _build_clean_module
+    from repro.machine.timing import TimingModel, TimingTracer
+    from repro.machine.vector_timing import VectorTimingEngine
+
+    per_bench = {}
+    total_base = 0.0
+    total_trace = 0.0
+    for bench in SUITE:
+        module = _build_clean_module(bench)
+        n = bench.eval_n
+
+        def run_base():
+            tracer = TimingTracer(TimingModel())
+            machine = CompiledMachine(module)
+            machine.add_tracer(tracer)
+            machine.run("main", [n])
+            return tracer
+
+        def run_trace():
+            engine = VectorTimingEngine(TimingModel())
+            machine = CompiledMachine(module, trace=True, timing_engine=engine)
+            machine.run("main", [n])
+            engine.flush()
+            return engine
+
+        base = run_base()
+        trace = run_trace()
+        assert trace.ticks == base.ticks, bench.name
+        assert trace.instructions == base.instructions, bench.name
+        assert trace.loop_cycles == base.loop_cycles, bench.name
+
+        # Interleave base/trace rounds so slow drift in machine load
+        # hits both sides equally; best-of-N per side.
+        base_s = trace_s = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            run_base()
+            base_s = min(base_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            run_trace()
+            trace_s = min(trace_s, time.perf_counter() - start)
+        total_base += base_s
+        total_trace += trace_s
+        per_bench[bench.name] = {
+            "block_tracer_seconds": round(base_s, 4),
+            "trace_engine_seconds": round(trace_s, 4),
+            "speedup": round(base_s / trace_s, 2),
+        }
+
+    aggregate = total_base / total_trace
+    payload = {
+        "benchmarks": per_bench,
+        "aggregate_speedup": round(aggregate, 2),
+        "baseline": "CompiledMachine + per-op TimingTracer",
+        "contender": "CompiledMachine(trace) + VectorTimingEngine",
+    }
+    emit_json("BENCH_interp", payload)
+    print(f"\ntrace-interp trajectory: {payload}")
+    assert aggregate >= 5.0

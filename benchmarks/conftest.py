@@ -10,6 +10,7 @@ Every figure's rows are printed to stdout (visible with ``-s``) and
 written to ``benchmarks/results/<name>.txt``.
 """
 
+import json
 import os
 
 import pytest
@@ -52,3 +53,18 @@ def emit(name: str, text: str) -> None:
         handle.write(text + "\n")
     print()
     print(text)
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Write one machine-readable benchmark document to the canonical
+    results location, ``benchmarks/results/<name>.json`` -- the same
+    directory as the figure text outputs, so every benchmark artifact
+    (and the CI upload steps) agree on placement.  Serialization is
+    canonical (sorted keys, trailing newline): reruns with unchanged
+    numbers are byte-identical.  Returns the path written."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

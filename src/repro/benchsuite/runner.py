@@ -30,6 +30,8 @@ from repro.core.selection import CATEGORY_VALID
 from repro.frontend import compile_minic
 from repro.machine.spt_sim import SptLoopStats, SptTraceCollector, simulate_spt_loop
 from repro.machine.timing import TimingModel, TimingTracer
+from repro.machine.vector_timing import VectorTimingEngine
+from repro.profiling.compiled import CompiledMachine
 from repro.profiling.interp import Machine
 from repro.ssa import build_ssa, optimize
 
@@ -155,9 +157,32 @@ def _build_clean_module(bench: Benchmark):
     return module
 
 
-def _timed_run(module, entry: str, args, extra_tracers=()):
+def _timed_run(module, entry: str, args, extra_tracers=(), config=None):
+    """Simulate one run and return (timing accounting, result).
+
+    The default path runs the trace-compiled interpreter with the
+    vectorized timing engine (bitwise-identical cycles to a
+    ``Machine`` + ``TimingTracer`` run; see
+    ``tests/machine/test_vector_timing.py``).  ``config`` flags select
+    slower paths: ``vector_timing=False`` falls back to a
+    :class:`TimingTracer`, ``fast_interp=False`` to the reference
+    interpreter.  Per-instruction tracers (e.g. SPT trace collectors)
+    automatically disable hot traces but still ride the compiled
+    machine.
+    """
+    fast = config.fast_interp if config is not None else True
+    trace = config.trace_interp if config is not None else True
+    vector = config.vector_timing if config is not None else True
+    if fast and vector:
+        engine = VectorTimingEngine(TimingModel())
+        machine = CompiledMachine(module, trace=trace, timing_engine=engine)
+        for extra in extra_tracers:
+            machine.add_tracer(extra)
+        result = machine.run(entry, list(args))
+        engine.flush()
+        return engine, result
     tracer = TimingTracer(TimingModel())
-    machine = Machine(module)
+    machine = CompiledMachine(module, trace=trace) if fast else Machine(module)
     machine.add_tracer(tracer)
     for extra in extra_tracers:
         machine.add_tracer(extra)
@@ -173,7 +198,9 @@ def run_benchmark(
 
     # -- base reference (Table 1) ----------------------------------------
     base_module = _build_clean_module(bench)
-    base_tracer, base_result = _timed_run(base_module, "main", [bench.eval_n])
+    base_tracer, base_result = _timed_run(
+        base_module, "main", [bench.eval_n], config=config
+    )
     run.base_cycles = base_tracer.cycles
     run.base_instructions = base_tracer.instructions
     run.base_result_value = base_result
@@ -215,7 +242,7 @@ def run_benchmark(
         )
 
     spt_tracer, spt_result = _timed_run(
-        spt_module, "main", [bench.eval_n], extra_tracers=collectors
+        spt_module, "main", [bench.eval_n], extra_tracers=collectors, config=config
     )
     run.spt_run_cycles = spt_tracer.cycles
     run.result_value = spt_result

@@ -79,6 +79,10 @@ def _override_dict_from_args(args: argparse.Namespace) -> dict:
     overrides = {}
     if getattr(args, "no_fast_interp", False):
         overrides["fast_interp"] = False
+    if getattr(args, "no_trace_interp", False):
+        overrides["trace_interp"] = False
+    if getattr(args, "no_vector_timing", False):
+        overrides["vector_timing"] = False
     if getattr(args, "no_incremental_cost", False):
         overrides["incremental_cost"] = False
     if getattr(args, "search_deadline_ms", None) is not None:
@@ -290,7 +294,12 @@ def cmd_summary(args: argparse.Namespace) -> int:
     workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
     telemetry = _telemetry_from_args(args)
     result = compile_spt(module, config, workload, telemetry=telemetry)
-    print(json.dumps(result.to_dict(), indent=2))
+    summary = result.to_dict()
+    if result.trace_stats:
+        # Added here, NOT in to_dict(): batch manifests embed to_dict()
+        # and must stay byte-identical across trace_interp on/off.
+        summary["trace_interp"] = result.trace_stats
+    print(json.dumps(summary, indent=2))
     _finish_telemetry(telemetry, args)
     return 0
 
@@ -529,6 +538,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-fast-interp", action="store_true",
             help="profile with the reference interpreter instead of the "
                  "block-compiled fast path",
+        )
+        p.add_argument(
+            "--no-trace-interp", action="store_true",
+            help="disable hot-trace (superblock) compilation on the "
+                 "fast interpreter; block-compiled execution only",
+        )
+        p.add_argument(
+            "--no-vector-timing", action="store_true",
+            help="use per-op timing accounting instead of the "
+                 "block-batched vectorized timing engine",
         )
         p.add_argument(
             "--no-incremental-cost", action="store_true",

@@ -92,6 +92,12 @@ class CompilationResult:
         #: non-empty list means the compilation degraded somewhere but
         #: still completed.
         self.degradations: List[DegradationRecord] = []
+        #: Trace-compilation statistics of the profiling run
+        #: ("func:entry" -> counters), when ``config.trace_interp`` was
+        #: on.  Deliberately NOT part of :meth:`to_dict`: the batch
+        #: manifest embeds that dict, and manifests must stay
+        #: byte-identical whether or not hot traces were engaged.
+        self.trace_stats: Dict[str, Dict] = {}
 
     def category_histogram(self) -> Dict[str, int]:
         return category_histogram(self.candidates)
@@ -187,17 +193,24 @@ class CompilationResult:
 
 def _profile(
     module: Module, workload: Workload, tracers, fast: bool = True,
-    telemetry=NULL_TELEMETRY, watchdog=None,
-) -> None:
+    trace: bool = False, telemetry=NULL_TELEMETRY, watchdog=None,
+) -> Dict[str, Dict]:
+    """Run one profiling workload; returns the trace-compilation report
+    (empty when hot traces were off or never engaged)."""
     machine = make_machine(
-        module, fuel=workload.fuel, fast=fast, telemetry=telemetry,
-        watchdog=watchdog,
+        module, fuel=workload.fuel, fast=fast, trace=trace and fast,
+        telemetry=telemetry, watchdog=watchdog,
     )
     for name, fn in workload.intrinsics.items():
         machine.register_intrinsic(name, fn)
     for tracer in tracers:
         machine.add_tracer(tracer)
     machine.run(workload.entry, list(workload.args))
+    report = getattr(machine, "trace_report", None)
+    traces = report() if report is not None else {}
+    if not traces:
+        return {}
+    return {"executed": machine.executed, "traces": traces}
 
 
 def _analyze_loop(
@@ -462,17 +475,19 @@ def compile_spt(
         # error, injected chaos) leaves partial profiles behind -- loops
         # the run never reached profile as never-entered, which the
         # selection criteria reject safely -- instead of aborting.
-        _, record = run_contained(
+        trace_stats, record = run_contained(
             "profile",
             lambda wd: _profile(
                 module, workload, tracers, fast=config.fast_interp,
-                telemetry=telemetry, watchdog=wd,
+                trace=config.trace_interp, telemetry=telemetry, watchdog=wd,
             ),
             telemetry=telemetry,
             deadline_ms=config.phase_deadline_ms,
         )
         if record is not None:
             result.degradations.append(record)
+        if trace_stats:
+            result.trace_stats = trace_stats
         result.edge_profile = edge_profile
         result.dep_profile = dep_profile
 
@@ -657,7 +672,7 @@ def _svp_round(
     value_profile = ValueProfile([vc.instr for _, vc in svp_targets])
     _profile(
         module, workload, [value_profile], fast=config.fast_interp,
-        telemetry=telemetry,
+        trace=config.trace_interp, telemetry=telemetry,
     )
 
     changed_funcs = set()

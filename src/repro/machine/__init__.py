@@ -18,6 +18,7 @@ from repro.machine.spt_sim import (
     simulate_spt_loop,
 )
 from repro.machine.timing import TimingModel, TimingTracer
+from repro.machine.vector_timing import VectorTimingEngine
 
 __all__ = [
     "BranchPredictor",
@@ -34,5 +35,6 @@ __all__ = [
     "SptTraceCollector",
     "TimingModel",
     "TimingTracer",
+    "VectorTimingEngine",
     "simulate_spt_loop",
 ]

@@ -17,11 +17,24 @@ mem    --          --         180 cycles
 Addresses are word indices (8-byte words), so a 64-byte line is 8
 words.  The model charges the latency of the first level that hits and
 fills all levels above it.
+
+Latencies are held internally as integer ticks (see
+:data:`repro.machine.timing.TICKS_PER_CYCLE`) so aggregated accounting
+stays exact; ``access()`` still returns float cycles, and the
+conversion is exact for any latency that is a multiple of 0.01 cycles.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+
+#: Duplicated from repro.machine.timing to avoid an import cycle
+#: (timing imports this module).
+_TICKS_PER_CYCLE = 100
+
+
+def _to_ticks(cycles: float) -> int:
+    return int(round(cycles * _TICKS_PER_CYCLE))
 
 
 class CacheLevel:
@@ -32,6 +45,7 @@ class CacheLevel:
         self.capacity_lines = capacity_lines
         self.line_words = line_words
         self.latency = latency
+        self.latency_ticks = _to_ticks(latency)
         self._lines: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -81,20 +95,62 @@ class MemoryHierarchy:
             CacheLevel("L2", l2_lines, line_words * 2, l2_latency),
             CacheLevel("L3", l3_lines, line_words * 2, l3_latency),
         ]
+        self._l1, self._l2, self._l3 = self.levels
         self.memory_latency = memory_latency
+        self.memory_ticks = _to_ticks(memory_latency)
         self.accesses = 0
 
     def access(self, addr: int) -> float:
         """Cycles to satisfy a load of ``addr``; updates all levels."""
+        return self.access_ticks(addr) / _TICKS_PER_CYCLE
+
+    # The two methods below are the simulator's hottest leaves (one
+    # call per dynamic load/store), so the probe/fill walk over the
+    # three levels is hand-inlined rather than expressed through
+    # CacheLevel.lookup/fill.  Every dict mutation, LRU touch, and
+    # hit/miss increment happens in the same order on the same state
+    # as the composed form, so timing results are bit-identical.
+
+    def access_ticks(self, addr: int) -> int:
+        """Ticks to satisfy a load of ``addr``; updates all levels."""
         self.accesses += 1
-        for index, level in enumerate(self.levels):
-            if level.lookup(addr):
-                for above in self.levels[:index]:
-                    above.fill(addr)
-                return level.latency
-        for level in self.levels:
-            level.fill(addr)
-        return self.memory_latency
+        l1 = self._l1
+        d1 = l1._lines
+        line1 = addr // l1.line_words
+        if line1 in d1:
+            d1.move_to_end(line1)
+            l1.hits += 1
+            return l1.latency_ticks
+        l1.misses += 1
+        l2 = self._l2
+        d2 = l2._lines
+        line2 = addr // l2.line_words
+        if line2 in d2:
+            d2.move_to_end(line2)
+            l2.hits += 1
+            ticks = l2.latency_ticks
+        else:
+            l2.misses += 1
+            l3 = self._l3
+            d3 = l3._lines
+            line3 = addr // l3.line_words
+            if line3 in d3:
+                d3.move_to_end(line3)
+                l3.hits += 1
+                ticks = l3.latency_ticks
+            else:
+                l3.misses += 1
+                ticks = self.memory_ticks
+                d3[line3] = True
+                while len(d3) > l3.capacity_lines:
+                    d3.popitem(last=False)
+            d2[line2] = True
+            while len(d2) > l2.capacity_lines:
+                d2.popitem(last=False)
+        d1[line1] = True
+        while len(d1) > l1.capacity_lines:
+            d1.popitem(last=False)
+        return ticks
 
     def fill_for_write(self, addr: int) -> None:
         """Write-allocate: a store brings the line in at every level.
@@ -104,11 +160,48 @@ class MemoryHierarchy:
         subsequent loads, which is what makes initialize-then-process
         loops behave realistically.
         """
-        for level in self.levels:
-            if level.lookup(addr):
-                break
-        for level in self.levels:
-            level.fill(addr)
+        l1 = self._l1
+        d1 = l1._lines
+        line1 = addr // l1.line_words
+        l2 = self._l2
+        d2 = l2._lines
+        line2 = addr // l2.line_words
+        l3 = self._l3
+        d3 = l3._lines
+        line3 = addr // l3.line_words
+        # Probe until the first level that hits (LRU-touch deferred to
+        # the unconditional fill below, which lands on the same line).
+        if line1 in d1:
+            l1.hits += 1
+        else:
+            l1.misses += 1
+            if line2 in d2:
+                l2.hits += 1
+            elif line3 in d3:
+                l2.misses += 1
+                l3.hits += 1
+            else:
+                l2.misses += 1
+                l3.misses += 1
+        # Write-allocate at every level.
+        if line1 in d1:
+            d1.move_to_end(line1)
+        else:
+            d1[line1] = True
+            while len(d1) > l1.capacity_lines:
+                d1.popitem(last=False)
+        if line2 in d2:
+            d2.move_to_end(line2)
+        else:
+            d2[line2] = True
+            while len(d2) > l2.capacity_lines:
+                d2.popitem(last=False)
+        if line3 in d3:
+            d3.move_to_end(line3)
+        else:
+            d3[line3] = True
+            while len(d3) > l3.capacity_lines:
+                d3.popitem(last=False)
 
     def miss_rate(self, level_index: int = 0) -> float:
         level = self.levels[level_index]

@@ -18,13 +18,13 @@ from typing import Set
 from repro.ir.block import Block
 from repro.ir.function import Function
 from repro.machine.spt_sim import (
-    COMMIT_CYCLES,
-    FORK_CYCLES,
+    COMMIT_TICKS,
+    FORK_TICKS,
     IterationTrace,
     SptTraceCollector,
     _replay_speculative,
 )
-from repro.machine.timing import TimingModel
+from repro.machine.timing import TICKS_PER_CYCLE, TimingModel
 
 
 class RegionTraceCollector(SptTraceCollector):
@@ -72,17 +72,37 @@ class RegionLoopStats:
         self.header = header
         self.split_label = split_label
         self.iterations = 0
-        self.seq_cycles = 0.0
-        self.region_cycles = 0.0
-        self.reexec_cycles = 0.0
+        self.seq_ticks = 0
+        self.region_ticks = 0
+        self.reexec_ticks = 0
         self.reexec_ops = 0
         self.b_ops = 0
-        self.a_cycles = 0.0
-        self.b_cycles = 0.0
+        self.a_ticks = 0
+        self.b_ticks = 0
+
+    @property
+    def seq_cycles(self) -> float:
+        return self.seq_ticks / TICKS_PER_CYCLE
+
+    @property
+    def region_cycles(self) -> float:
+        return self.region_ticks / TICKS_PER_CYCLE
+
+    @property
+    def reexec_cycles(self) -> float:
+        return self.reexec_ticks / TICKS_PER_CYCLE
+
+    @property
+    def a_cycles(self) -> float:
+        return self.a_ticks / TICKS_PER_CYCLE
+
+    @property
+    def b_cycles(self) -> float:
+        return self.b_ticks / TICKS_PER_CYCLE
 
     @property
     def loop_speedup(self) -> float:
-        return self.seq_cycles / self.region_cycles if self.region_cycles else 1.0
+        return self.seq_ticks / self.region_ticks if self.region_ticks else 1.0
 
     @property
     def misspeculation_ratio(self) -> float:
@@ -90,10 +110,10 @@ class RegionLoopStats:
 
     @property
     def balance(self) -> float:
-        total = self.a_cycles + self.b_cycles
+        total = self.a_ticks + self.b_ticks
         if total <= 0:
             return 0.0
-        return 1.0 - abs(self.a_cycles - self.b_cycles) / total
+        return 1.0 - abs(self.a_ticks - self.b_ticks) / total
 
     def __repr__(self) -> str:
         return (
@@ -139,21 +159,21 @@ def simulate_region_loop(
     for iterations in collector.invocations:
         for trace in iterations:
             stats.iterations += 1
-            t_a = trace.pre_latency()
-            t_b = trace.post_latency()
-            stats.seq_cycles += t_a + t_b
-            stats.a_cycles += t_a
-            stats.b_cycles += t_b
+            t_a = trace.pre_ticks()
+            t_b = trace.post_ticks()
+            stats.seq_ticks += t_a + t_b
+            stats.a_ticks += t_a
+            stats.b_ticks += t_b
 
             reg, mem = _region_writes(trace)
             b_trace = IterationTrace()
             b_trace.ops = [op for op in trace.ops if not op.pre_fork]
-            reexec_cycles, reexec_ops = _replay_speculative(b_trace, reg, mem)
+            reexec_ticks, reexec_ops = _replay_speculative(b_trace, reg, mem)
 
-            stats.region_cycles += (
-                FORK_CYCLES + max(t_a, t_b) + COMMIT_CYCLES + reexec_cycles
+            stats.region_ticks += (
+                FORK_TICKS + max(t_a, t_b) + COMMIT_TICKS + reexec_ticks
             )
-            stats.reexec_cycles += reexec_cycles
+            stats.reexec_ticks += reexec_ticks
             stats.reexec_ops += reexec_ops
             stats.b_ops += len(b_trace.ops)
     return stats

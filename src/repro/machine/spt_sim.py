@@ -41,19 +41,24 @@ from repro.ir.block import Block
 from repro.ir.function import Function
 from repro.ir.instr import Branch, Call, Instr, Load, Phi, SptFork, Store
 from repro.ir.values import Var
-from repro.machine.timing import TimingModel
+from repro.machine.timing import TICKS_PER_CYCLE, TimingModel
 from repro.profiling.interp import Tracer
 
-FORK_CYCLES = 6.0
-COMMIT_CYCLES = 5.0
+FORK_TICKS = 600
+COMMIT_TICKS = 500
+FORK_CYCLES = FORK_TICKS / TICKS_PER_CYCLE
+COMMIT_CYCLES = COMMIT_TICKS / TICKS_PER_CYCLE
 
 
 class OpRecord:
-    """One dynamic operation inside an SPT loop iteration."""
+    """One dynamic operation inside an SPT loop iteration.
+
+    Latency is held as integer ticks (``ticks``); the ``latency``
+    property converts to float cycles for external readers."""
 
     __slots__ = (
         "instr",
-        "latency",
+        "ticks",
         "uses",
         "def_name",
         "def_old",
@@ -71,7 +76,7 @@ class OpRecord:
 
     def __init__(self, instr: Instr):
         self.instr = instr
-        self.latency = 0.0
+        self.ticks = 0
         #: Register names read (with phis resolved to the taken incoming).
         self.uses: List[str] = []
         self.def_name: Optional[str] = None
@@ -90,6 +95,10 @@ class OpRecord:
         #: values resolve before the fork).
         self.header_op = False
 
+    @property
+    def latency(self) -> float:
+        return self.ticks / TICKS_PER_CYCLE
+
 
 class IterationTrace:
     """All operations of one loop iteration, in execution order."""
@@ -100,14 +109,24 @@ class IterationTrace:
         self.ops: List[OpRecord] = []
 
     @property
+    def total_ticks(self) -> int:
+        return sum(op.ticks for op in self.ops)
+
+    def pre_ticks(self) -> int:
+        return sum(op.ticks for op in self.ops if op.pre_fork)
+
+    def post_ticks(self) -> int:
+        return sum(op.ticks for op in self.ops if not op.pre_fork)
+
+    @property
     def total_latency(self) -> float:
-        return sum(op.latency for op in self.ops)
+        return self.total_ticks / TICKS_PER_CYCLE
 
     def pre_latency(self) -> float:
-        return sum(op.latency for op in self.ops if op.pre_fork)
+        return self.pre_ticks() / TICKS_PER_CYCLE
 
     def post_latency(self) -> float:
-        return sum(op.latency for op in self.ops if not op.pre_fork)
+        return self.post_ticks() / TICKS_PER_CYCLE
 
 
 class SptTraceCollector(Tracer):
@@ -232,7 +251,7 @@ class SptTraceCollector(Tracer):
                 self._in_pre_fork = False
                 return
             op = OpRecord(instr)
-            op.latency = self.model.base_latency(instr)
+            op.ticks = self.model.base_ticks(instr)
             op.pre_fork = self._in_pre_fork
             if isinstance(instr, Phi):
                 incoming = instr.incomings.get(self._prev_label)
@@ -254,7 +273,7 @@ class SptTraceCollector(Tracer):
             # Inside a callee: charge latency onto the call aggregate.
             record = self._record()
             if record is not None:
-                record.latency += self.model.base_latency(instr)
+                record.ticks += self.model.base_ticks(instr)
 
     def on_edge(self, func: Function, src_label: str, dst_label: str) -> None:
         if self._current is None:
@@ -267,13 +286,13 @@ class SptTraceCollector(Tracer):
             and func.name == self.func_name
         ):
             taken = dst_label == record.instr.iftrue
-            record.latency += self.model.branch_latency(id(record.instr), taken)
+            record.ticks += self.model.branch_ticks(id(record.instr), taken)
         elif self._call_stack and isinstance(
             func.block(src_label).terminator, Branch
         ):
             branch = func.block(src_label).terminator
             taken = dst_label == branch.iftrue
-            self._call_stack[-1].latency += self.model.branch_latency(
+            self._call_stack[-1].ticks += self.model.branch_ticks(
                 id(branch), taken
             )
 
@@ -302,18 +321,18 @@ class SptTraceCollector(Tracer):
         # The cache observes every load in the program (cache state must
         # match the run's real access stream), but latency is only
         # attached to ops recorded inside the SPT loop.
-        latency = self.model.load_latency(addr)
+        ticks = self.model.load_ticks(addr)
         if self._current is None:
             return
         if self._call_stack:
             record = self._call_stack[-1]
-            record.latency += latency
+            record.ticks += ticks
             record.mem_reads.add(addr)
             return
         record = self._pending_op
         if record is None or record.instr is not instr:
             return
-        record.latency += latency
+        record.ticks += ticks
         record.load_addr = addr
         record.load_value = value
 
@@ -335,23 +354,46 @@ class SptTraceCollector(Tracer):
 
 
 class SptLoopStats:
-    """Simulated SPT statistics of one loop."""
+    """Simulated SPT statistics of one loop.
+
+    Cycle totals accumulate as integer ticks (``*_ticks`` fields); the
+    ``*_cycles`` properties expose float cycles (exact conversions)."""
 
     def __init__(self, func_name: str, header: str):
         self.func_name = func_name
         self.header = header
         self.invocations = 0
         self.iterations = 0
-        self.seq_cycles = 0.0
-        self.spt_cycles = 0.0
+        self.seq_ticks = 0
+        self.spt_ticks = 0
         #: Dynamic operations executed speculatively / re-executed.
         self.spec_ops = 0
         self.reexec_ops = 0
-        self.reexec_cycles = 0.0
-        self.spec_cycles = 0.0
+        self.reexec_ticks = 0
+        self.spec_ticks = 0
         #: Dynamic instruction count per iteration (body size, Fig 17).
         self.total_ops = 0
-        self.prefork_cycles = 0.0
+        self.prefork_ticks = 0
+
+    @property
+    def seq_cycles(self) -> float:
+        return self.seq_ticks / TICKS_PER_CYCLE
+
+    @property
+    def spt_cycles(self) -> float:
+        return self.spt_ticks / TICKS_PER_CYCLE
+
+    @property
+    def reexec_cycles(self) -> float:
+        return self.reexec_ticks / TICKS_PER_CYCLE
+
+    @property
+    def spec_cycles(self) -> float:
+        return self.spec_ticks / TICKS_PER_CYCLE
+
+    @property
+    def prefork_cycles(self) -> float:
+        return self.prefork_ticks / TICKS_PER_CYCLE
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -359,7 +401,7 @@ class SptLoopStats:
 
     @property
     def loop_speedup(self) -> float:
-        return self.seq_cycles / self.spt_cycles if self.spt_cycles else 1.0
+        return self.seq_ticks / self.spt_ticks if self.spt_ticks else 1.0
 
     @property
     def misspeculation_ratio(self) -> float:
@@ -368,7 +410,7 @@ class SptLoopStats:
     @property
     def reexecution_ratio(self) -> float:
         """Fraction of speculative computation re-executed (Fig 19 y-axis)."""
-        return self.reexec_cycles / self.spec_cycles if self.spec_cycles else 0.0
+        return self.reexec_ticks / self.spec_ticks if self.spec_ticks else 0.0
 
     @property
     def avg_body_ops(self) -> float:
@@ -376,7 +418,7 @@ class SptLoopStats:
 
     @property
     def prefork_fraction(self) -> float:
-        return self.prefork_cycles / self.seq_cycles if self.seq_cycles else 0.0
+        return self.prefork_ticks / self.seq_ticks if self.seq_ticks else 0.0
 
     def __repr__(self) -> str:
         return (
@@ -415,15 +457,15 @@ def _post_fork_writes(trace: IterationTrace):
 
 def _replay_speculative(
     spec: IterationTrace, post_reg: Dict[str, Tuple], post_mem: Dict[int, Tuple]
-) -> Tuple[float, int]:
+) -> Tuple[int, int]:
     """Walk the speculative iteration, propagating misspeculation.
 
-    Returns (re-executed cycles, re-executed op count)."""
+    Returns (re-executed ticks, re-executed op count)."""
     tainted_regs: Set[str] = set()
     clean_regs: Set[str] = set()
     tainted_addrs: Set[int] = set()
     clean_addrs: Set[int] = set()
-    reexec_cycles = 0.0
+    reexec_ticks = 0
     reexec_ops = 0
 
     def stale_reg(name: str) -> bool:
@@ -454,7 +496,7 @@ def _replay_speculative(
                     break
 
         if tainted:
-            reexec_cycles += op.latency
+            reexec_ticks += op.ticks
             reexec_ops += 1
             if op.def_name is not None:
                 tainted_regs.add(op.def_name)
@@ -480,7 +522,7 @@ def _replay_speculative(
                 for addr in op.mem_writes:
                     clean_addrs.add(addr)
                     tainted_addrs.discard(addr)
-    return reexec_cycles, reexec_ops
+    return reexec_ticks, reexec_ops
 
 
 def simulate_spt_loop(collector: SptTraceCollector, telemetry=None) -> SptLoopStats:
@@ -504,9 +546,9 @@ def simulate_spt_loop(collector: SptTraceCollector, telemetry=None) -> SptLoopSt
         stats.invocations += 1
         stats.iterations += len(iterations)
         for trace in iterations:
-            stats.seq_cycles += trace.total_latency
+            stats.seq_ticks += trace.total_ticks
             stats.total_ops += len(trace.ops)
-            stats.prefork_cycles += trace.pre_latency()
+            stats.prefork_ticks += trace.pre_ticks()
 
         index = 0
         round_index = 0
@@ -515,24 +557,24 @@ def simulate_spt_loop(collector: SptTraceCollector, telemetry=None) -> SptLoopSt
             if index + 1 < len(iterations):
                 spec = iterations[index + 1]
                 post_reg, post_mem = _post_fork_writes(main)
-                reexec_cycles, reexec_ops = _replay_speculative(
+                reexec_ticks, reexec_ops = _replay_speculative(
                     spec, post_reg, post_mem
                 )
-                t_pre = main.pre_latency()
-                t_post = main.post_latency()
-                t_spec = spec.total_latency
-                round_cycles = (
+                t_pre = main.pre_ticks()
+                t_post = main.post_ticks()
+                t_spec = spec.total_ticks
+                round_ticks = (
                     t_pre
-                    + FORK_CYCLES
+                    + FORK_TICKS
                     + max(t_post, t_spec)
-                    + COMMIT_CYCLES
-                    + reexec_cycles
+                    + COMMIT_TICKS
+                    + reexec_ticks
                 )
-                stats.spt_cycles += round_cycles
+                stats.spt_ticks += round_ticks
                 stats.spec_ops += len(spec.ops)
-                stats.spec_cycles += t_spec
+                stats.spec_ticks += t_spec
                 stats.reexec_ops += reexec_ops
-                stats.reexec_cycles += reexec_cycles
+                stats.reexec_ticks += reexec_ticks
                 if observed:
                     telemetry.count("spt.rounds")
                     telemetry.count("spt.forks")
@@ -548,14 +590,14 @@ def simulate_spt_loop(collector: SptTraceCollector, telemetry=None) -> SptLoopSt
                         committed=True,
                         spec_ops=len(spec.ops),
                         reexec_ops=reexec_ops,
-                        reexec_cycles=round(reexec_cycles, 3),
-                        round_cycles=round(round_cycles, 3),
+                        reexec_cycles=round(reexec_ticks / TICKS_PER_CYCLE, 3),
+                        round_cycles=round(round_ticks / TICKS_PER_CYCLE, 3),
                     )
                 index += 2
             else:
                 # Unpaired trailing iteration: main runs it alone; the
                 # fork it issued spawns a doomed thread (killed at exit).
-                stats.spt_cycles += main.total_latency + FORK_CYCLES
+                stats.spt_ticks += main.total_ticks + FORK_TICKS
                 if observed:
                     telemetry.count("spt.forks")
                     telemetry.count("spt.wasted_forks")

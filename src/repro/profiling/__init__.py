@@ -11,16 +11,19 @@ from repro.profiling.interp import (
     TracerEventCounter,
     run_module,
 )
+from repro.profiling.traces import CompiledTrace, TraceStats
 from repro.profiling.value_profile import ValuePattern, ValueProfile
 
 __all__ = [
     "CompiledMachine",
+    "CompiledTrace",
     "DependenceProfile",
     "EdgeProfile",
     "FuelExhausted",
     "InterpError",
     "LoopDepView",
     "Machine",
+    "TraceStats",
     "Tracer",
     "TracerEventCounter",
     "ValuePattern",

@@ -23,18 +23,31 @@ execution, into a flat list of specialized closures:
 * **batched fuel accounting** -- fuel is charged once per block with a
   single comparison instead of once per instruction.
 
+Two further layers stack on top of the block-compiled path:
+
+* **hot-trace splicing** (``trace=True``): block paths that stay hot
+  are recorded and compiled into single superblock closures with
+  guarded side exits (:mod:`repro.profiling.traces`);
+* a **vectorized timing engine** (``timing_engine=...``): block-batched
+  cycle accounting that replaces a per-op
+  :class:`~repro.machine.timing.TimingTracer`
+  (:mod:`repro.machine.vector_timing`), driven from the block driver
+  and from inside compiled traces.
+
 Semantics match the reference interpreter exactly on well-formed
 programs: return values, memory state, ``Machine.executed`` counts and
 tracer event streams are all identical (the differential tests in
-``tests/profiling/test_compiled.py`` assert this over the whole
+``tests/profiling/test_compiled.py`` and
+``tests/profiling/test_trace_interp.py`` assert this over the whole
 benchmark suite).  The only tolerated divergence is *which* error
 surfaces first on already-broken programs: batched fuel may exhaust at
-block entry where the reference interpreter would first hit, say, a
-division by zero mid-block.
+block entry (or, under traces, at a pass boundary) where the reference
+interpreter would first hit, say, a division by zero mid-block.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ir.block import Block
@@ -69,6 +82,10 @@ from repro.profiling.interp import (
 
 #: Sentinel returned by terminator closures on function return.
 _RETURN = object()
+
+#: Sentinel in ``_CompiledFunction.traces``: this entry label is known
+#: not to yield a useful trace; never record it again this run.
+_BLACKLISTED = object()
 
 #: Tracer hook names that affect compiled code generation.
 _HOOK_NAMES = (
@@ -144,6 +161,21 @@ class _CompiledFunction:
         self.hooks = hooks
         self.block_map = func.block_map()
         self.blocks: Dict[str, _CompiledBlock] = {}
+        #: entry label -> CompiledTrace | _BLACKLISTED.
+        self.traces: Dict[str, object] = {}
+        #: entry label -> executions since the last (re)record.
+        self.hot_counts: Dict[str, int] = {}
+        #: entry label -> unusable-recording count (blacklist after 3).
+        self.reject_counts: Dict[str, int] = {}
+        #: Hot-trace splicing engages only when no per-op observer needs
+        #: the individual instruction stream.
+        self.tracing = (
+            machine.trace_enabled
+            and not hooks.per_instr
+            and not hooks.on_load
+            and not hooks.on_store
+            and not hooks.on_call
+        )
 
     # -- operand accessors -------------------------------------------
 
@@ -263,13 +295,33 @@ class _CompiledFunction:
         get_off = self._accessor(instr.offset)
         machine = self.machine
         on_load = self.hooks.on_load
+        engine = machine.timing_engine
         if on_load:
+            e_load = engine.load if engine is not None else None
 
             def core(env):
                 addr = int(get_base(env)) + int(get_off(env))
                 value = machine.read_mem(addr)
+                if e_load is not None:
+                    e_load(addr)
                 for t in on_load:
                     t.on_load(instr, addr, value)
+                env[dest] = value
+                return value
+
+            return core
+
+        if engine is not None:
+            e_load = engine.load
+
+            def core(env):
+                addr = int(get_base(env)) + int(get_off(env))
+                mem = machine.memory
+                if 0 <= addr < len(mem):
+                    value = mem[addr]
+                else:
+                    raise InterpError(f"load from invalid address {addr}")
+                e_load(addr)
                 env[dest] = value
                 return value
 
@@ -293,15 +345,40 @@ class _CompiledFunction:
         get_value = self._accessor(instr.value)
         machine = self.machine
         on_store = self.hooks.on_store
+        engine = machine.timing_engine
         if on_store:
+            e_store = (
+                engine.model.hierarchy.fill_for_write
+                if engine is not None
+                else None
+            )
 
             def core(env):
                 addr = int(get_base(env)) + int(get_off(env))
                 value = get_value(env)
                 old = machine.read_mem(addr)
                 machine.write_mem(addr, value)
+                if e_store is not None:
+                    e_store(addr)
                 for t in on_store:
                     t.on_store(instr, addr, value, old)
+                return None
+
+            return core
+
+        if engine is not None:
+            # store() only write-allocates; bind the hierarchy directly.
+            e_store = engine.model.hierarchy.fill_for_write
+
+            def core(env):
+                addr = int(get_base(env)) + int(get_off(env))
+                value = get_value(env)
+                mem = machine.memory
+                if 0 <= addr < len(mem):
+                    mem[addr] = value
+                else:
+                    raise InterpError(f"store to invalid address {addr}")
+                e_store(addr)
                 return None
 
             return core
@@ -379,9 +456,25 @@ class _CompiledFunction:
         elif isinstance(instr, Branch):
             get_cond = self._accessor(instr.cond)
             iftrue, iffalse = instr.iftrue, instr.iffalse
+            engine = self.machine.timing_engine
+            if engine is not None:
+                e_branch = engine.branch
+                key = id(instr)
+                # taken == (destination is iftrue), degenerate
+                # same-target branches included (mirrors TimingTracer).
+                same = iftrue == iffalse
 
-            def term(env):
-                return iftrue if get_cond(env) else iffalse
+                def term(env, _pin=instr):
+                    if get_cond(env):
+                        e_branch(key, True)
+                        return iftrue
+                    e_branch(key, same)
+                    return iffalse
+
+            else:
+
+                def term(env):
+                    return iftrue if get_cond(env) else iffalse
 
         elif isinstance(instr, Return):
             if instr.value is None:
@@ -578,6 +671,9 @@ class _CompiledFunction:
             env[param.name] = arg
         for t in hooks.on_enter_function:
             t.on_enter_function(func, args)
+        engine = machine.timing_engine
+        if engine is not None:
+            engine.enter(func, args)
 
         blocks = self.blocks
         on_block = hooks.on_block
@@ -585,8 +681,57 @@ class _CompiledFunction:
         fuel = machine.fuel
         label = func.entry.label
         prev_label: Optional[str] = None
+        traces = self.traces if self.tracing else None
+        hot_threshold = machine.trace_hot_threshold
+        recording: Optional[List[str]] = None
+        rec_seen = None
 
         while True:
+            if traces is not None:
+                tr = traces.get(label)
+                if tr is None:
+                    count = self.hot_counts.get(label, 0) + 1
+                    self.hot_counts[label] = count
+                    # ``>=`` not ``==``: a block can cross the threshold
+                    # while another recording is active (or while the
+                    # per-function trace budget is full) and must still
+                    # get its recording at the next opportunity --
+                    # unrolled steady-state loop bodies reach their
+                    # threshold inside the guard copy's recording.
+                    if (
+                        count >= hot_threshold
+                        and recording is None
+                        and len(traces) < machine.trace_max_per_func
+                    ):
+                        self.hot_counts[label] = 0
+                        recording = [label]
+                        rec_seen = {label}
+                elif tr is not _BLACKLISTED and recording is None:
+                    # (An active recording bypasses installed traces:
+                    # letting one run would leave a multi-block hole
+                    # in the recorded path.)
+                    nxt, last = tr.fn(env, prev_label)
+                    stats = tr.stats
+                    passes = stats.passes - tr.pass0
+                    if (
+                        passes >= 64
+                        and not passes & 63
+                        and (stats.side_exits - tr.exit0) * 2 > passes
+                    ):
+                        # The recorded direction stopped matching the
+                        # branch profile: drop and re-record.  (The
+                        # check runs every 64th pass: one failed check
+                        # means the next 63 can't flip the verdict to
+                        # a *worse* trace than re-recording costs.)
+                        self._drop_trace(label, tr)
+                    if nxt is _RETURN:
+                        result = env.get("$ret")
+                        break
+                    # The trace already emitted the edge into ``nxt``.
+                    prev_label = last
+                    label = nxt
+                    continue
+
             cb = blocks.get(label)
             if cb is None:
                 cb = self.compile_block(label)
@@ -598,6 +743,8 @@ class _CompiledFunction:
             if machine.watchdog is not None:
                 machine.watchdog.poll()
 
+            if engine is not None:
+                engine.block(func, cb.block, prev_label)
             if on_block:
                 for t in on_block:
                     t.on_block(func, cb.block, prev_label)
@@ -623,6 +770,31 @@ class _CompiledFunction:
                 op(env)
             nxt = cb.term(env)
 
+            if recording is not None:
+                cyclic = None
+                if nxt is _RETURN:
+                    cyclic = False
+                elif nxt == recording[0]:
+                    cyclic = True
+                elif (
+                    len(recording) >= machine.trace_max_blocks
+                    or nxt in rec_seen
+                ):
+                    # Recording runs *through* blocks that already
+                    # anchor other traces: aborting there would chop
+                    # loop bodies with branch diamonds into chains of
+                    # short linear traces that bounce off the
+                    # dispatcher once per link, instead of one cyclic
+                    # trace per iteration.
+                    cyclic = False
+                else:
+                    recording.append(nxt)
+                    rec_seen.add(nxt)
+                if cyclic is not None:
+                    self._finish_recording(recording, cyclic)
+                    recording = None
+                    rec_seen = None
+
             if nxt is _RETURN:
                 result = env.get("$ret")
                 break
@@ -634,9 +806,82 @@ class _CompiledFunction:
             prev_label = label
             label = nxt
 
+        if engine is not None:
+            engine.exit(func, result)
         for t in hooks.on_exit_function:
             t.on_exit_function(func, result)
         return result
+
+    # -- trace lifecycle -------------------------------------------------
+
+    def _finish_recording(self, path: List[str], cyclic: bool) -> None:
+        """Compile a completed recording and install (or veto) it."""
+        from repro.profiling.traces import compile_trace
+
+        machine = self.machine
+        entry = path[0]
+        stats = machine._trace_stats_for(self.func.name, entry)
+        if stats.exit_counts:
+            # Guard-failure feedback from the invalidated previous
+            # generation: cut the new path where the *cumulative*
+            # failure rate of the guards kept so far crosses a third
+            # of the passes (the block at the cut stays; its failing
+            # guard becomes an unguarded computed exit).  Without
+            # this, re-records of paths crossing data-dependent
+            # diamonds churn through identical high-failure traces
+            # into the blacklist -- and a per-guard threshold alone
+            # misses paths whose failures are spread across many
+            # mildly unstable branches.
+            gen_passes = stats.passes - stats.gen_pass0
+            cum = 0
+            for index, lbl in enumerate(path):
+                cum += stats.exit_counts.get(lbl, 0)
+                if cum * 3 > gen_passes:
+                    del path[index + 1:]
+                    cyclic = False
+                    break
+        if (
+            not cyclic
+            and len(path) < 2
+            and len(self.block_map[entry].instrs) < 5
+        ):
+            # A single-block linear trace over a tiny block cannot
+            # beat the block path; re-record later (the same entry may
+            # loop next time), but give up after a few useless
+            # recordings.  A *meaty* single block is still worth
+            # installing: its ops run natively and the data-dependent
+            # branch that truncated the path here becomes an unguarded
+            # computed exit.
+            rejects = self.reject_counts.get(entry, 0) + 1
+            self.reject_counts[entry] = rejects
+            if rejects >= 3:
+                self.traces[entry] = _BLACKLISTED
+                machine.trace_rejects += 1
+            else:
+                self.hot_counts[entry] = 0
+            return
+        trace = compile_trace(self, path, cyclic, stats)
+        if trace is None:
+            # Structurally untraceable (unsupported op, malformed phi,
+            # path/CFG mismatch): never try this entry again.
+            self.traces[entry] = _BLACKLISTED
+            machine.trace_rejects += 1
+            return
+        stats.compiles += 1
+        stats.exit_counts = {}
+        stats.gen_pass0 = stats.passes
+        trace.pass0 = stats.passes
+        trace.exit0 = stats.side_exits
+        self.traces[entry] = trace
+
+    def _drop_trace(self, entry: str, trace) -> None:
+        trace.stats.invalidations += 1
+        self.machine.trace_invalidations += 1
+        if trace.stats.compiles >= 3:
+            self.traces[entry] = _BLACKLISTED
+        else:
+            del self.traces[entry]
+            self.hot_counts[entry] = 0
 
 
 class CompiledMachine(Machine):
@@ -647,25 +892,118 @@ class CompiledMachine(Machine):
     inherited untouched).  Blocks are compiled lazily on first
     execution and the compiled code is discarded whenever ``run`` is
     invoked, so modules mutated between runs are always re-lowered.
+
+    With ``trace=True``, hot block paths are additionally spliced into
+    superblock traces (:mod:`repro.profiling.traces`); a
+    :class:`~repro.machine.vector_timing.VectorTimingEngine` passed as
+    ``timing_engine`` receives block-batched timing events from both
+    the block driver and compiled traces.
     """
 
     def __init__(
         self, module: Module, fuel: int = 50_000_000, telemetry=None,
-        watchdog=None,
+        watchdog=None, trace: bool = False, timing_engine=None,
+        trace_hot_threshold: int = 16, trace_max_blocks: int = 32,
+        trace_max_per_func: int = 64,
     ):
         super().__init__(
             module, fuel=fuel, telemetry=telemetry, watchdog=watchdog
         )
         self._hooks: Optional[_Hooks] = None
         self._code: Dict[str, _CompiledFunction] = {}
+        self.trace_enabled = trace
+        self.timing_engine = timing_engine
+        #: Block executions before an entry label starts recording.
+        self.trace_hot_threshold = trace_hot_threshold
+        #: Longest recordable path (superblock size cap).
+        self.trace_max_blocks = trace_max_blocks
+        #: Trace-count cap per function (memory bound).
+        self.trace_max_per_func = trace_max_per_func
+        #: (func_name, entry_label) -> TraceStats, accumulated across
+        #: runs and recompilations (telemetry / ``repro explain``).
+        self._trace_stats: Dict[Tuple[str, str], object] = {}
+        self.trace_rejects = 0
+        self.trace_invalidations = 0
+        #: REPRO_TRACE_BAILOUT=<k>: force every k-th guard evaluation
+        #: to side-exit at its on-trace label (differential testing).
+        try:
+            self._trace_bailout = int(
+                os.environ.get("REPRO_TRACE_BAILOUT", "0") or 0
+            )
+        except ValueError:
+            self._trace_bailout = 0
+        self._bail_counter = 0
+
+    # -- trace bookkeeping --------------------------------------------
+
+    def _trace_stats_for(self, func_name: str, entry: str):
+        from repro.profiling.traces import TraceStats
+
+        key = (func_name, entry)
+        stats = self._trace_stats.get(key)
+        if stats is None:
+            stats = TraceStats(func_name, entry)
+            self._trace_stats[key] = stats
+        return stats
+
+    def _trace_bail(self) -> bool:
+        self._bail_counter += 1
+        return self._bail_counter % self._trace_bailout == 0
+
+    def invalidate_traces(self) -> None:
+        """Drop every installed trace and hot counter (the block-level
+        code and its semantics are untouched)."""
+        for code in self._code.values():
+            if code.traces:
+                self.trace_invalidations += len(code.traces)
+            code.traces.clear()
+            code.hot_counts.clear()
+            code.reject_counts.clear()
+
+    def trace_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-entry trace statistics: ``{"func:entry": {...}}``."""
+        return {
+            f"{fn}:{entry}": stats.as_dict()
+            for (fn, entry), stats in sorted(self._trace_stats.items())
+        }
 
     def _execute(self, func_name: str, args: List) -> object:
         # Specialize for the tracers attached *now* (including any
         # telemetry detail tracer Machine.run just added); invalidate
         # code compiled for a previous run (or a mutated module).
+        # Traces live on the per-run code objects, so they are
+        # invalidated here too.
         self._hooks = _Hooks(self.tracers)
         self._code = {}
-        return super()._execute(func_name, args)
+        if not (self.trace_enabled and self.telemetry.enabled):
+            return super()._execute(func_name, args)
+        before = self._trace_counters()
+        try:
+            return super()._execute(func_name, args)
+        finally:
+            after = self._trace_counters()
+            for name, value in after.items():
+                delta = value - before.get(name, 0)
+                if delta:
+                    self.telemetry.count(f"trace.{name}", delta)
+
+    def _trace_counters(self) -> Dict[str, int]:
+        totals = {
+            "compiles": 0,
+            "entries": 0,
+            "passes": 0,
+            "side_exits": 0,
+            "ops_on_trace": 0,
+        }
+        for stats in self._trace_stats.values():
+            totals["compiles"] += stats.compiles
+            totals["entries"] += stats.entries
+            totals["passes"] += stats.passes
+            totals["side_exits"] += stats.side_exits
+            totals["ops_on_trace"] += stats.ops_on_trace
+        totals["rejects"] = self.trace_rejects
+        totals["invalidations"] = self.trace_invalidations
+        return totals
 
     def _call_function(self, func: Function, args: List):
         if self._hooks is None:
@@ -679,11 +1017,21 @@ class CompiledMachine(Machine):
 
 def make_machine(
     module: Module, fuel: int = 50_000_000, fast: bool = True, telemetry=None,
-    watchdog=None,
+    watchdog=None, trace: bool = False, timing_engine=None,
 ) -> Machine:
-    """Build the fast machine, or the reference one with ``fast=False``."""
+    """Build the fast machine, or the reference one with ``fast=False``.
+
+    ``trace`` enables hot-trace splicing and ``timing_engine`` attaches
+    a vectorized timing engine; both require ``fast=True``.
+    """
     if fast:
         return CompiledMachine(
-            module, fuel=fuel, telemetry=telemetry, watchdog=watchdog
+            module, fuel=fuel, telemetry=telemetry, watchdog=watchdog,
+            trace=trace, timing_engine=timing_engine,
+        )
+    if trace or timing_engine is not None:
+        raise ValueError(
+            "trace compilation and the vectorized timing engine require "
+            "the compiled fast path (fast=True)"
         )
     return Machine(module, fuel=fuel, telemetry=telemetry, watchdog=watchdog)

@@ -215,6 +215,9 @@ class Machine:
         self.regions: List = []
         self.intrinsics: Dict[str, Callable] = {}
         self.tracers: List[Tracer] = []
+        # id(block) -> (block, fuel ops); the block reference pins the
+        # id.  Supports the amortized per-block fuel pre-charge.
+        self._block_costs: Dict[int, tuple] = {}
         self._allocate_statics()
 
     # -- setup -------------------------------------------------------
@@ -339,14 +342,87 @@ class Machine:
             return frame.env[value.name]
         raise InterpError(f"cannot evaluate {value!r}")
 
+    def _block_ops(self, block: Block) -> int:
+        """Ops a normal execution of ``block`` spends fuel on: leading
+        phis plus body instructions through the first terminator."""
+        entry = self._block_costs.get(id(block))
+        if entry is None:
+            count = 0
+            for instr in block.instrs:
+                count += 1
+                if instr.is_terminator:
+                    break
+            # The tuple pins the block object so its id cannot recycle.
+            entry = (block, count)
+            self._block_costs[id(block)] = entry
+        return entry[1]
+
     def _exec_block(self, frame: Frame) -> Optional[str]:
-        """Execute ``frame.block``; return the next label or None on return."""
+        """Execute ``frame.block``; return the next label or None on return.
+
+        Fuel accounting and watchdog polling are amortized: the block's
+        op count is pre-charged in one addition and the watchdog polled
+        once per block.  Near exhaustion (the pre-charge would cross the
+        fuel limit) the exact per-op slow path runs instead, so
+        ``FuelExhausted`` surfaces at the same op it always did.  If the
+        block aborts early (interpreter error), the charge for the
+        unexecuted tail is retracted before the exception propagates.
+        """
         block = frame.block
         func = frame.func
-        for tracer in self.tracers:
+        tracers = self.tracers
+        for tracer in tracers:
             tracer.on_block(func, block, frame.prev_label)
 
-        # Phis evaluate atomically against the incoming environment.
+        ops = self._block_ops(block)
+        if self.executed + ops > self.fuel:
+            return self._exec_block_ops_slow(frame, block, func)
+        if self.watchdog is not None:
+            self.watchdog.poll()
+        self.executed += ops
+        done = 0
+        try:
+            # Phis evaluate atomically against the incoming environment.
+            phi_updates: Dict[str, object] = {}
+            index = 0
+            for instr in block.instrs:
+                if not isinstance(instr, Phi):
+                    break
+                index += 1
+                done += 1
+                for tracer in tracers:
+                    tracer.on_instr(func, block, instr)
+                if frame.prev_label is None:
+                    raise InterpError(f"phi in entry block {block.label}")
+                if frame.prev_label not in instr.incomings:
+                    raise InterpError(
+                        f"phi {instr.dest} has no incoming for {frame.prev_label}"
+                    )
+                value = self._eval(frame, instr.incomings[frame.prev_label])
+                phi_updates[instr.dest.name] = value
+                for tracer in tracers:
+                    tracer.on_def(instr, value)
+            frame.env.update(phi_updates)
+
+            for instr in block.instrs[index:]:
+                done += 1
+                for tracer in tracers:
+                    tracer.on_instr(func, block, instr)
+                outcome = self._exec_instr(frame, instr)
+                if outcome is not _FALLTHROUGH:
+                    return outcome
+            raise InterpError(f"block {block.label} fell off the end")
+        except BaseException:
+            # Retract this block's unexecuted tail only -- charges made
+            # by nested calls stay (they retract their own tails).
+            self.executed -= ops - done
+            raise
+
+    def _exec_block_ops_slow(
+        self, frame: Frame, block: Block, func: Function
+    ) -> Optional[str]:
+        """Exact per-op fuel accounting (the pre-amortization hot loop),
+        used when the block's pre-charge could cross the fuel limit."""
         phi_updates: Dict[str, object] = {}
         index = 0
         for instr in block.instrs:

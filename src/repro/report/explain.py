@@ -179,7 +179,37 @@ def explain_text(
             f"{len(result.degradations)} contained degradation(s):"
         ] + [f"  {record}" for record in result.degradations]
         sections.append("\n".join(degradation_lines))
+    if loop is None and result.trace_stats:
+        sections.append(trace_stats_text(result.trace_stats))
     return "\n\n".join([header] + sections)
+
+
+def trace_stats_text(trace_stats: dict) -> str:
+    """Render the profiling run's hot-trace compilation statistics
+    (``CompilationResult.trace_stats``): per-trace compile counts,
+    guard-failure rates, and the fraction of dynamic ops that retired
+    inside compiled traces."""
+    traces = trace_stats.get("traces", {})
+    executed = trace_stats.get("executed", 0)
+    lines = [f"hot-trace compilation ({len(traces)} trace(s) in profiling run):"]
+    on_trace = 0
+    for key in sorted(traces):
+        entry = traces[key]
+        on_trace += entry["ops_on_trace"]
+        shape = "cyclic" if entry["cyclic"] else "linear"
+        lines.append(
+            f"  {key:<28} {shape:<6} {len(entry['path'])} blocks"
+            f"  compiles={entry['compiles']}"
+            f"  passes={entry['passes']}"
+            f"  guard-fail={entry['guard_failure_rate'] * 100:.1f}%"
+            f"  ops={entry['ops_on_trace']}"
+        )
+    if executed:
+        lines.append(
+            f"  {on_trace}/{executed} dynamic ops"
+            f" ({on_trace / executed * 100:.1f}%) retired on traces"
+        )
+    return "\n".join(lines)
 
 
 def cache_probe_text(probe: dict) -> str:

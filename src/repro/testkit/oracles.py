@@ -325,7 +325,7 @@ def _independent_replay(main_trace, spec_trace) -> Tuple[float, int]:
     # Replay: per-location state, "ok" once locally (re)defined cleanly.
     reg_state: Dict[str, str] = {}
     addr_state: Dict[int, str] = {}
-    cycles = 0.0
+    ticks = 0
     count = 0
     for op in spec_trace.ops:
         reads_regs = list(op.uses)
@@ -342,7 +342,7 @@ def _independent_replay(main_trace, spec_trace) -> Tuple[float, int]:
             if state == "bad" or (state is None and addr in stale_addrs):
                 bad = True
         if bad:
-            cycles += op.latency
+            ticks += op.ticks
             count += 1
         verdict = "bad" if bad else "ok"
         if op.def_name is not None:
@@ -351,7 +351,7 @@ def _independent_replay(main_trace, spec_trace) -> Tuple[float, int]:
             addr_state[op.store_addr] = verdict
         for addr in op.mem_writes or ():
             addr_state[addr] = verdict
-    return cycles, count
+    return ticks, count
 
 
 def _eager_config() -> SptConfig:
