@@ -56,15 +56,42 @@ def emit(name: str, text: str) -> None:
 
 
 def emit_json(name: str, payload: dict) -> str:
-    """Write one machine-readable benchmark document to the canonical
-    results location, ``benchmarks/results/<name>.json`` -- the same
-    directory as the figure text outputs, so every benchmark artifact
-    (and the CI upload steps) agree on placement.  Serialization is
-    canonical (sorted keys, trailing newline): reruns with unchanged
-    numbers are byte-identical.  Returns the path written."""
+    """Append one machine-readable benchmark entry to the trajectory at
+    ``benchmarks/results/<name>.json`` -- the same directory as the
+    figure text outputs, so every benchmark artifact (and the CI upload
+    steps) agree on placement.
+
+    The file holds a JSON *list*, newest entry last; each entry is the
+    caller's payload stamped with a ``recorded_at`` UTC timestamp, so
+    the committed file accumulates a cross-PR perf trajectory instead
+    of losing history on every rewrite.  Pre-trajectory files holding a
+    single document are migrated to a one-entry list on first append.
+    Serialization stays canonical (sorted keys, trailing newline).
+    Returns the path written."""
+    import datetime
+
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
+    trajectory = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+        except ValueError:
+            existing = []
+        if isinstance(existing, list):
+            trajectory = existing
+        elif isinstance(existing, dict):
+            # Legacy single-document file: keep it as the first entry.
+            trajectory = [existing]
+    entry = dict(payload)
+    entry["recorded_at"] = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )
+    trajectory.append(entry)
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path

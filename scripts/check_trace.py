@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""Validate a Chrome trace-event file produced by ``--trace-out``.
+"""Validate observability output: Chrome traces and JSONL span logs.
 
 Usage::
 
     python scripts/check_trace.py trace.json [--require-phase NAME ...]
+    python scripts/check_trace.py run.jsonl   # --log-out span log
 
-Checks (exit 0 = valid, 1 = invalid, 2 = usage):
+``*.jsonl`` inputs (or ``--format jsonl``) are validated as structured
+``--log-out`` logs; anything else as a ``--trace-out`` Chrome
+trace-event document.
+
+Chrome trace checks (exit 0 = valid, 1 = invalid, 2 = usage):
 
 * the file parses as JSON and has a ``traceEvents`` array;
 * every record carries the required trace-event keys with sane types
@@ -15,6 +20,15 @@ Checks (exit 0 = valid, 1 = invalid, 2 = usage):
 * every required pipeline phase appears as a complete event.  By
   default the phases ``compile_spt`` always emits are required; pass
   ``--require-phase`` to override the list.
+
+JSONL log checks:
+
+* every line parses as a JSON object with a known ``type``;
+* span records carry monotonic, non-negative ``start <= end``
+  timestamps and close in monotonic end order;
+* the span parent/child links form a forest: every non-null ``parent``
+  names a known span id, ``depth`` is the parent chain length, and
+  each child's ``[start, end]`` interval lies inside its parent's.
 
 Used by CI as a smoke test on a benchsuite compilation, and handy
 locally before loading a trace into a viewer.
@@ -99,9 +113,109 @@ def check_trace(path: str, require_phases: List[str]) -> List[str]:
     return problems
 
 
+KNOWN_JSONL_TYPES = {"span", "event", "counter", "gauge", "histogram"}
+
+
+def check_jsonl(path: str) -> List[str]:
+    """All problems found with the ``--log-out`` JSONL log at ``path``
+    (empty = valid): well-formed lines, monotonic timestamps, and a
+    consistent span parent/child forest."""
+    problems: List[str] = []
+    spans: List[dict] = []
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        return [f"cannot load {path}: {exc}"]
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            problems.append(f"line {number}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {number}: not JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {number}: not an object")
+            continue
+        kind = record.get("type")
+        if kind not in KNOWN_JSONL_TYPES:
+            problems.append(f"line {number}: unknown record type {kind!r}")
+            continue
+        if kind != "span":
+            continue
+        where = f"line {number}: span {record.get('name')!r}"
+        start = record.get("start")
+        duration = record.get("duration")
+        if not isinstance(start, (int, float)) or start < 0:
+            problems.append(f"{where}: bad start {start!r}")
+            continue
+        if not isinstance(duration, (int, float)) or duration < 0:
+            problems.append(f"{where}: bad duration {duration!r}")
+            continue
+        if not isinstance(record.get("span_id"), int):
+            problems.append(f"{where}: bad span_id {record.get('span_id')!r}")
+            continue
+        spans.append(record)
+
+    if not spans:
+        problems.append("no span records")
+        return problems
+
+    # Spans are written as they close: end timestamps must be monotonic.
+    last_end = None
+    for record in spans:
+        end = record["start"] + record["duration"]
+        if last_end is not None and end < last_end - 1e-9:
+            problems.append(
+                f"span {record['name']!r} closed out of order "
+                f"(end {end:.9f} < previous {last_end:.9f})"
+            )
+        last_end = end
+
+    # Parent/child links must form a forest with consistent depths and
+    # containment: a child opens and closes inside its parent.
+    by_id = {record["span_id"]: record for record in spans}
+    if len(by_id) != len(spans):
+        problems.append("duplicate span_id values")
+    for record in spans:
+        parent_id = record.get("parent")
+        name = f"span {record['name']!r} (id {record['span_id']})"
+        if parent_id is None:
+            if record.get("depth") != 0:
+                problems.append(
+                    f"{name}: root span with depth {record.get('depth')!r}"
+                )
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(f"{name}: unknown parent id {parent_id!r}")
+            continue
+        if record.get("depth") != parent.get("depth", 0) + 1:
+            problems.append(
+                f"{name}: depth {record.get('depth')!r} != parent depth "
+                f"{parent.get('depth')!r} + 1"
+            )
+        child_start = record["start"]
+        child_end = child_start + record["duration"]
+        parent_start = parent["start"]
+        parent_end = parent_start + parent["duration"]
+        if child_start < parent_start - 1e-9 or child_end > parent_end + 1e-9:
+            problems.append(
+                f"{name}: interval [{child_start:.9f}, {child_end:.9f}] "
+                f"escapes parent {parent['name']!r} "
+                f"[{parent_start:.9f}, {parent_end:.9f}]"
+            )
+    return problems
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "trace", help="Chrome trace-event JSON file or --log-out JSONL log"
+    )
     parser.add_argument(
         "--require-phase",
         action="append",
@@ -110,20 +224,38 @@ def main(argv: List[str] = None) -> int:
         help="phase that must appear as a complete event "
              "(repeatable; default: the always-on pipeline phases)",
     )
+    parser.add_argument(
+        "--format",
+        choices=["auto", "trace", "jsonl"],
+        default="auto",
+        help="input format (auto: by file extension)",
+    )
     args = parser.parse_args(argv)
     phases = args.require_phase
     if phases is None:
         phases = DEFAULT_PHASES
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "jsonl" if args.trace.endswith(".jsonl") else "trace"
 
-    problems = check_trace(args.trace, phases)
+    if fmt == "jsonl":
+        problems = check_jsonl(args.trace)
+    else:
+        problems = check_trace(args.trace, phases)
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1
-    with open(args.trace) as handle:
-        count = len(json.load(handle)["traceEvents"])
-    print(f"OK: {args.trace} valid ({count} events, "
-          f"phases: {', '.join(phases)})")
+    if fmt == "jsonl":
+        with open(args.trace) as handle:
+            count = sum(1 for line in handle if line.strip())
+        print(f"OK: {args.trace} valid JSONL log ({count} records, "
+              f"span tree consistent)")
+    else:
+        with open(args.trace) as handle:
+            count = len(json.load(handle)["traceEvents"])
+        print(f"OK: {args.trace} valid ({count} events, "
+              f"phases: {', '.join(phases)})")
     return 0
 
 

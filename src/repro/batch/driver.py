@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.batch.cache import CacheStats, ResultCache, default_cache_dir
 from repro.batch.manifest import build_manifest
+from repro.batch.progress import ProgressTracker
 from repro.batch.worker import worker_main
 from repro.obs.telemetry import NULL_TELEMETRY
 
@@ -36,6 +37,10 @@ __all__ = ["BatchResult", "expand_inputs", "run_batch"]
 #: ``run_batch(stall_timeout=...)`` / ``repro batch --stall-timeout``
 #: or :attr:`repro.core.config.SptConfig.batch_stall_timeout_s`.
 STALL_TIMEOUT = 60.0
+
+#: Default seconds between worker heartbeats (clamped to a quarter of
+#: the stall window so a healthy pool beats several times per window).
+HEARTBEAT_S = 0.5
 
 _SOURCE_SUFFIXES = (".c", ".minic", ".ir")
 
@@ -158,12 +163,14 @@ def _crashed_entry(task: Dict, exitcode: Optional[int], message: str) -> Dict:
 class _WorkerHandle:
     """One live worker process plus its shared claim slot."""
 
-    def __init__(self, ctx, worker_id, task_queue, result_queue, cache_dir):
+    def __init__(self, ctx, worker_id, task_queue, result_queue, cache_dir,
+                 heartbeat_s=None, observe=False):
         self.worker_id = worker_id
         self.claim = ctx.Value("i", -1, lock=False)
         self.process = ctx.Process(
             target=worker_main,
-            args=(task_queue, result_queue, worker_id, cache_dir, self.claim),
+            args=(task_queue, result_queue, worker_id, cache_dir, self.claim,
+                  heartbeat_s, observe),
             daemon=True,
             name=f"repro-batch-worker-{worker_id}",
         )
@@ -185,22 +192,34 @@ def run_batch(
     progress=None,
     stall_timeout: Optional[float] = None,
     program_timeout: Optional[float] = None,
+    progress_path: Optional[str] = None,
+    heartbeat_s: Optional[float] = None,
+    status=None,
 ) -> BatchResult:
     """Compile every program named by ``inputs`` and merge one manifest.
 
     ``progress`` is an optional callable receiving one finished entry
     at a time (completion order), for CLI streaming output.
 
-    ``stall_timeout`` overrides the driver's silence backstop (default:
-    the config's ``batch_stall_timeout_s``); ``program_timeout`` arms a
-    per-program SIGALRM in each worker -- an overrunning program is
-    retried once on the degraded ladder configuration and only then
-    reported with ``status: "timeout"``."""
+    ``stall_timeout`` overrides the driver's liveness backstop (default:
+    the config's ``batch_stall_timeout_s``); the backstop fires only
+    after that long without any worker heartbeat, start, or result.
+    ``program_timeout`` arms a per-program SIGALRM in each worker -- an
+    overrunning program is retried once on the degraded ladder
+    configuration and only then reported with ``status: "timeout"``.
+
+    Live progress: workers heartbeat every ``heartbeat_s`` seconds
+    (default 0.5); ``status`` is an optional callable receiving the
+    refreshed one-line status string, and ``progress_path`` names a
+    ``progress.json`` document (schema ``repro-batch-progress/1``)
+    rewritten atomically as the batch advances."""
     telemetry = telemetry or NULL_TELEMETRY
     if stall_timeout is not None and stall_timeout <= 0:
         raise ValueError("stall_timeout must be positive when set")
     if program_timeout is not None and program_timeout <= 0:
         raise ValueError("program_timeout must be positive when set")
+    if heartbeat_s is not None and heartbeat_s <= 0:
+        raise ValueError("heartbeat_s must be positive when set")
     paths = expand_inputs(list(inputs))
     if not paths:
         raise FileNotFoundError("no input programs found")
@@ -221,9 +240,12 @@ def run_batch(
         stall_timeout = config.batch_stall_timeout_s
     started = time.perf_counter()
     with telemetry.span("batch", jobs=jobs, programs=len(tasks)):
-        entries, cache_stats = _execute(
+        entries, cache_stats, tracker = _execute(
             tasks, jobs, effective_cache_dir, telemetry, progress,
             stall_timeout,
+            progress_path=progress_path,
+            heartbeat_s=heartbeat_s,
+            status=status,
         )
 
     evicted = 0
@@ -263,13 +285,16 @@ def run_batch(
         "wall_seconds": round(wall, 4),
         "cache_dir": effective_cache_dir,
         "cache": cache_stats.to_dict(),
+        "heartbeats": tracker.heartbeats,
     }
     return BatchResult(manifest, entries, stats, cache_stats)
 
 
 def _execute(tasks, jobs, cache_dir, telemetry, progress,
-             stall_timeout=STALL_TIMEOUT):
-    """Run the worker pool; returns (entries in task order, CacheStats)."""
+             stall_timeout=STALL_TIMEOUT, progress_path=None,
+             heartbeat_s=None, status=None):
+    """Run the worker pool; returns (entries in task order, CacheStats,
+    ProgressTracker)."""
     ctx = multiprocessing.get_context()
     task_queue = ctx.Queue()
     # Results travel over a SimpleQueue on purpose: its put() writes to
@@ -282,26 +307,62 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
     for _ in range(jobs):
         task_queue.put(None)
 
+    if heartbeat_s is None:
+        # Several beats per backstop window, without busy-beating.
+        heartbeat_s = max(0.05, min(HEARTBEAT_S, stall_timeout / 4.0))
+    observe = bool(telemetry.enabled)
+
     entries: List[Optional[Dict]] = [None] * len(tasks)
     cache_stats = CacheStats()
+    tracker = ProgressTracker(len(tasks), jobs)
     pending = set(range(len(tasks)))
     workers: Dict[int, _WorkerHandle] = {}
     next_worker_id = 0
-    for _ in range(jobs):
+
+    def spawn() -> None:
+        nonlocal next_worker_id
         workers[next_worker_id] = _WorkerHandle(
-            ctx, next_worker_id, task_queue, result_queue, cache_dir
+            ctx, next_worker_id, task_queue, result_queue, cache_dir,
+            heartbeat_s=heartbeat_s, observe=observe,
         )
         next_worker_id += 1
 
-    last_progress = time.monotonic()
+    for _ in range(jobs):
+        spawn()
 
-    def finish(index: int, entry: Dict) -> None:
+    last_publish = 0.0
+
+    def publish(force: bool = False) -> None:
+        # Throttled external rendering: the status line and the
+        # progress.json document, at most a few times per second.
+        nonlocal last_publish
+        now = time.monotonic()
+        if not force and now - last_publish < 0.2:
+            return
+        last_publish = now
+        if status is not None:
+            status(tracker.status_line())
+        if progress_path is not None:
+            tracker.write(progress_path)
+
+    def finish(index: int, entry: Dict, worker: Optional[int] = None) -> None:
         entries[index] = entry
         pending.discard(index)
+        tracker.on_done(worker, entry)
         if progress is not None:
             progress(entry)
 
+    def absorb_done(message: Dict) -> None:
+        finish(message["index"], message["entry"], message.get("worker"))
+        cache_stats.merge(message["stats"])
+        if telemetry.enabled and message.get("counters"):
+            telemetry.merge_counters(message["counters"])
+        if telemetry.enabled:
+            for name, value in (message.get("gauges") or {}).items():
+                telemetry.gauge(name, value)
+
     try:
+        publish(force=True)
         while pending:
             drained = False
             if result_queue.empty():
@@ -311,11 +372,18 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
                 message = result_queue.get()
                 drained = True
             if message is not None:
-                last_progress = time.monotonic()
-                if message["kind"] == "done":
+                kind = message["kind"]
+                if kind == "done":
                     if message["index"] in pending:
-                        finish(message["index"], message["entry"])
-                        cache_stats.merge(message["stats"])
+                        absorb_done(message)
+                elif kind == "start":
+                    tracker.on_start(
+                        message["worker"], message["index"],
+                        tasks[message["index"]]["path"],
+                    )
+                elif kind == "heartbeat":
+                    tracker.on_heartbeat(message["worker"], message["index"])
+                publish()
                 continue
 
             # No result just now: check worker liveness.
@@ -326,16 +394,17 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
                     # Clean exit: the worker drained its sentinel after
                     # the queue emptied.  Don't replace it.
                     del workers[worker_id]
+                    tracker.on_worker_dead(worker_id)
                     continue
                 # Drain anything the dead worker managed to send
                 # before attributing a crash.
                 while not result_queue.empty():
                     late = result_queue.get()
                     if late["kind"] == "done" and late["index"] in pending:
-                        finish(late["index"], late["entry"])
-                        cache_stats.merge(late["stats"])
+                        absorb_done(late)
                 claimed = handle.claim.value
                 del workers[worker_id]
+                tracker.on_worker_dead(worker_id)
                 if claimed >= 0 and claimed in pending:
                     exitcode = handle.process.exitcode
                     finish(
@@ -357,18 +426,18 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
                 if pending:
                     # Replace lost capacity; its queue sentinel was
                     # never consumed, so no extra sentinel is needed.
-                    workers[next_worker_id] = _WorkerHandle(
-                        ctx, next_worker_id, task_queue, result_queue,
-                        cache_dir,
-                    )
-                    next_worker_id += 1
-                last_progress = time.monotonic()
+                    spawn()
+                tracker.note_activity()
+                publish()
 
             if drained or not pending:
                 continue
-            if time.monotonic() - last_progress > stall_timeout:
-                # Backstop: tasks vanished without a claim (death in
-                # the dequeue->claim window) or the pool wedged.
+            if tracker.seconds_since_heartbeat() > stall_timeout:
+                # Backstop: the pool shows no sign of life -- no
+                # heartbeat, start, or result for a whole window.  A
+                # slow-but-alive worker keeps heartbeating and never
+                # trips this; a hung *program* is the per-program
+                # timeout's job, not the backstop's.
                 for index in sorted(pending):
                     finish(
                         index,
@@ -386,5 +455,7 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
                 handle.process.join(timeout=2.0)
         task_queue.cancel_join_thread()
         result_queue.close()
+        publish(force=True)
 
-    return [entry for entry in entries if entry is not None], cache_stats
+    return ([entry for entry in entries if entry is not None], cache_stats,
+            tracker)

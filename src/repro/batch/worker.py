@@ -6,10 +6,16 @@ process loops on the task queue and reports over the result queue:
 
 * ``{"kind": "start", "worker": w, "index": i}`` as soon as a task is
   claimed (the driver uses this, together with a shared-memory claim
-  slot, to attribute a hard worker death to the right program);
+  slot, to attribute a hard worker death to the right program; the
+  progress tracker counts it as the first heartbeat);
+* ``{"kind": "heartbeat", "worker": w, "index": i}`` every
+  ``heartbeat_s`` seconds while a task is in flight, sent by a daemon
+  thread -- the driver's liveness signal and stall backstop feed;
 * ``{"kind": "done", "worker": w, "index": i, "entry": ..., "stats":
-  ..., "counters": ...}`` when the program finished -- whether the
-  compilation succeeded, was served from cache, or raised.
+  ..., "counters": ..., "gauges": ...}`` when the program finished --
+  whether the compilation succeeded, was served from cache, or raised.
+  ``counters``/``gauges`` carry the worker-side telemetry totals when
+  the driver asked for observation (``observe=True``).
 
 A worker never lets a per-program exception escape: failures become
 ``status: "error"`` manifest entries and the loop continues.  Only a
@@ -28,6 +34,7 @@ import hashlib
 import json
 import os
 import signal
+import threading
 import traceback
 from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
@@ -122,7 +129,10 @@ def _program_alarm(timeout_s: Optional[float]):
 
 
 def _degraded_retry(
-    task: Dict, cache: Optional[ResultCache], cause: str
+    task: Dict,
+    cache: Optional[ResultCache],
+    cause: str,
+    telemetry=None,
 ) -> Dict:
     """The one post-timeout retry, on the degraded ladder configuration.
 
@@ -136,7 +146,7 @@ def _degraded_retry(
     degraded_task = dict(task, config_overrides=overrides)
     try:
         with _program_alarm(task.get("timeout_s")):
-            out = _compile_with_cache(degraded_task, cache)
+            out = _compile_with_cache(degraded_task, cache, telemetry)
     except ProgramTimeout as exc:
         return {
             "status": "timeout",
@@ -160,14 +170,16 @@ def _degraded_retry(
 
 
 def compile_program_task(
-    task: Dict, cache: Optional[ResultCache]
+    task: Dict, cache: Optional[ResultCache], telemetry=None
 ) -> Tuple[Dict, Dict]:
     """Compile one program (consulting ``cache``), returning
     ``(manifest_entry, cache_stats_dict)``.
 
-    The manifest entry is byte-for-byte identical whether it was
-    recomputed or served warm: the cache stores the exact summary and
-    per-loop records the cold path produced."""
+    ``telemetry`` is an optional worker-side observing Telemetry whose
+    counters the caller ships back to the driver.  The manifest entry
+    is byte-for-byte identical whether it was recomputed or served
+    warm: the cache stores the exact summary and per-loop records the
+    cold path produced."""
     stats_before = cache.stats.to_dict() if cache else None
     source = task["source"]
     entry: Dict = {
@@ -176,12 +188,12 @@ def compile_program_task(
     }
     try:
         with _program_alarm(task.get("timeout_s")):
-            entry.update(_compile_with_cache(task, cache))
+            entry.update(_compile_with_cache(task, cache, telemetry))
     except ProgramTimeout as exc:
         # Passed through every inner firewall by design: the worker --
         # not a per-loop containment scope -- owns the whole-program
         # budget and the one degraded retry it buys.
-        entry.update(_degraded_retry(task, cache, str(exc)))
+        entry.update(_degraded_retry(task, cache, str(exc), telemetry))
     except Exception as exc:  # noqa: BLE001 - worker must survive anything
         entry["status"] = "error"
         entry["error"] = {
@@ -204,7 +216,9 @@ def _stats_delta(cache: Optional[ResultCache], before: Optional[Dict]) -> Dict:
     }
 
 
-def _compile_with_cache(task: Dict, cache: Optional[ResultCache]) -> Dict:
+def _compile_with_cache(
+    task: Dict, cache: Optional[ResultCache], telemetry=None
+) -> Dict:
     config = config_from_task(task)
     workload = Workload(
         entry=task["entry"], args=tuple(task["args"]), fuel=task["fuel"]
@@ -240,7 +254,7 @@ def _compile_with_cache(task: Dict, cache: Optional[ResultCache]) -> Dict:
             # Partial/corrupt state: fall through and recompute fully.
 
     module = _load_module(task["source"], task["name"])
-    result = compile_spt(module, config, workload)
+    result = compile_spt(module, config, workload, telemetry=telemetry)
     # Normalize through JSON immediately so cold results are the same
     # Python objects a cache round-trip yields (tuples become lists,
     # keys become strings) -- warm and cold entries must compare equal,
@@ -301,7 +315,46 @@ def probe_cache(
     return probe
 
 
-def worker_main(task_queue, result_queue, worker_id, cache_dir, claim) -> None:
+def _start_heartbeat_thread(result_queue, worker_id, claim, heartbeat_s):
+    """A daemon thread that reports the claimed task index every
+    ``heartbeat_s`` seconds while one is in flight.
+
+    SimpleQueue.put writes the pipe synchronously under a lock, so the
+    heartbeat thread and the main loop can share the result queue.  The
+    thread reads the shared claim slot rather than any in-process
+    state, so a main thread wedged inside a compilation still
+    heartbeats -- that is the point: heartbeats mean "process alive",
+    and hung *programs* remain the per-program timeout's job."""
+    stop = threading.Event()
+
+    def beat():
+        while not stop.wait(heartbeat_s):
+            index = claim.value
+            if index < 0:
+                continue
+            try:
+                result_queue.put(
+                    {"kind": "heartbeat", "worker": worker_id, "index": index}
+                )
+            except Exception:  # noqa: BLE001 - queue torn down at exit
+                return
+
+    thread = threading.Thread(
+        target=beat, daemon=True, name=f"repro-batch-heartbeat-{worker_id}"
+    )
+    thread.start()
+    return stop
+
+
+def worker_main(
+    task_queue,
+    result_queue,
+    worker_id,
+    cache_dir,
+    claim,
+    heartbeat_s: Optional[float] = None,
+    observe: bool = False,
+) -> None:
     """Body of one worker process.
 
     ``claim`` is a shared ``multiprocessing.Value('i')`` the worker
@@ -309,27 +362,50 @@ def worker_main(task_queue, result_queue, worker_id, cache_dir, claim) -> None:
     done).  Unlike queue messages -- which travel through a feeder
     thread a dying process may never flush -- shared-memory stores are
     visible immediately, so the driver can attribute a hard crash to
-    the right program."""
+    the right program.
+
+    ``heartbeat_s`` arms the liveness thread; ``observe=True`` runs
+    each compilation under a fresh observing telemetry and ships its
+    counter/gauge totals back in the ``done`` message."""
     crash_on = os.environ.get(CRASH_ENV_VAR) or None
     cache = ResultCache(cache_dir) if cache_dir else None
-    while True:
-        task = task_queue.get()
-        if task is None:
-            break
-        index = task["index"]
-        claim.value = index
-        result_queue.put({"kind": "start", "worker": worker_id, "index": index})
-        if crash_on and crash_on in task["path"]:
-            # Simulated hard death: no cleanup, no queue flush.
-            os._exit(CRASH_EXIT_CODE)
-        entry, stats = compile_program_task(task, cache)
-        result_queue.put(
-            {
+    stop_heartbeat = None
+    if heartbeat_s:
+        stop_heartbeat = _start_heartbeat_thread(
+            result_queue, worker_id, claim, heartbeat_s
+        )
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            index = task["index"]
+            claim.value = index
+            result_queue.put(
+                {"kind": "start", "worker": worker_id, "index": index}
+            )
+            if crash_on and crash_on in task["path"]:
+                # Simulated hard death: no cleanup, no queue flush.
+                os._exit(CRASH_EXIT_CODE)
+            telemetry = None
+            if observe:
+                from repro.obs.telemetry import Telemetry
+
+                telemetry = Telemetry()
+            entry, stats = compile_program_task(task, cache, telemetry)
+            message = {
                 "kind": "done",
                 "worker": worker_id,
                 "index": index,
                 "entry": entry,
                 "stats": stats,
             }
-        )
-        claim.value = -1
+            if telemetry is not None:
+                telemetry.close()
+                message["counters"] = dict(telemetry.counters)
+                message["gauges"] = dict(telemetry.gauges)
+            result_queue.put(message)
+            claim.value = -1
+    finally:
+        if stop_heartbeat is not None:
+            stop_heartbeat.set()

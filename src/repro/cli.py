@@ -7,6 +7,8 @@ Usage (also available as ``python -m repro``):
     repro dump-ir prog.c [--ssa]              # lower (and SSA-convert)
     repro simulate prog.c --args 500          # compile + SPT machine model
     repro explain prog.c [--loop f:header]    # why was each loop (not) selected
+    repro perf record prog.c                  # measure + append to the ledger
+    repro perf check --baseline ledger.jsonl  # CI regression verdict
     repro report table1 fig14 ...             # regenerate paper results
 
 Compile-like commands accept observability flags: ``--trace-out t.json``
@@ -21,6 +23,7 @@ Every command accepts MiniC source (``.c``-style) or textual IR
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -35,7 +38,6 @@ from repro.core.pipeline import Workload, compile_spt
 from repro.frontend import compile_minic
 from repro.ir import format_module, parse_module
 from repro.ir.function import Module
-from repro.machine.spt_sim import SptTraceCollector, simulate_spt_loop
 from repro.machine.timing import TimingModel, TimingTracer
 from repro.profiling import Machine
 
@@ -104,16 +106,30 @@ def _telemetry_from_args(args: argparse.Namespace):
         sinks.append(ChromeTraceSink(args.trace_out))
     if getattr(args, "log_out", None):
         sinks.append(JsonlSink(args.log_out))
-    if not sinks and not getattr(args, "obs_summary", False):
+    if (
+        not sinks
+        and not getattr(args, "obs_summary", False)
+        and not getattr(args, "metrics_out", None)
+    ):
         return None
     return Telemetry(sinks=sinks, detail=getattr(args, "obs_detail", False))
 
 
 def _finish_telemetry(telemetry, args: argparse.Namespace) -> None:
-    """Flush sinks and print the summary table if requested."""
+    """Flush sinks, export the metrics snapshot, and print the summary
+    table if requested."""
     if telemetry is None:
         return
     telemetry.close()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.obs import metrics_json, prometheus_text
+
+        render = (
+            metrics_json if metrics_out.endswith(".json") else prometheus_text
+        )
+        with open(metrics_out, "w") as handle:
+            handle.write(render(telemetry))
     if getattr(args, "obs_summary", False):
         from repro.obs import summary_text
 
@@ -187,6 +203,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.perf import simulate_program
+
     module = load_module(args.source)
     config = _config_from_args(args)
     train = _parse_args_list(args.train_args or args.args)
@@ -198,45 +216,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         _finish_telemetry(telemetry, args)
         return 1
 
-    collectors = []
-    for candidate, info in zip(result.selected, result.spt_loops):
-        func = module.function(candidate.func_name)
-        nest = LoopNest.build(func)
-        loop = next(
-            (l for l in nest.loops if l.header == candidate.loop.header), None
-        )
-        if loop is None:
-            continue
-        collectors.append(
-            SptTraceCollector(
-                candidate.func_name, loop.header, loop.body,
-                info.loop_id, TimingModel(),
-            )
-        )
-
-    machine = Machine(module, fuel=args.fuel, telemetry=telemetry)
-    tracer = TimingTracer(TimingModel())
-    machine.add_tracer(tracer)
-    for collector in collectors:
-        machine.add_tracer(collector)
-    result_value = machine.run(args.entry, _parse_args_list(args.args))
-
-    print(f"result: {result_value}")
-    print(f"single-core cycles: {tracer.cycles:.0f}  (IPC {tracer.ipc:.3f})")
-    total_delta = 0.0
-    for collector in collectors:
-        stats = simulate_spt_loop(collector, telemetry=telemetry)
-        total_delta += stats.spt_cycles - stats.seq_cycles
+    outcome = simulate_program(
+        module, result, entry=args.entry,
+        args=_parse_args_list(args.args), fuel=args.fuel,
+        telemetry=telemetry,
+    )
+    print(f"result: {outcome.result}")
+    print(f"single-core cycles: {outcome.seq_cycles:.0f}"
+          f"  (IPC {outcome.ipc:.3f})")
+    for loop in outcome.loops:
         print(
-            f"  loop {stats.func_name}:{stats.header}: "
-            f"speedup {stats.loop_speedup:.2f}x, "
-            f"misspec {stats.misspeculation_ratio:.3f}, "
-            f"{stats.iterations} iterations"
+            f"  loop {loop.func_name}:{loop.header}: "
+            f"speedup {loop.speedup:.2f}x, "
+            f"misspec {loop.misspeculation_ratio:.3f}, "
+            f"{loop.iterations} iterations"
         )
-    spt_total = tracer.cycles + total_delta
-    if spt_total > 0:
-        print(f"program SPT cycles: {spt_total:.0f} "
-              f"(speedup {tracer.cycles / spt_total:.3f}x)")
+    if outcome.spt_cycles > 0:
+        print(f"program SPT cycles: {outcome.spt_cycles:.0f} "
+              f"(speedup {outcome.program_speedup:.3f}x)")
     _finish_telemetry(telemetry, args)
     return 0
 
@@ -311,6 +308,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
     telemetry = _telemetry_from_args(args)
+    if args.profile and telemetry is None:
+        # --profile needs a span tree even when no sink flag was given.
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
     result = compile_spt(module, config, workload, telemetry=telemetry)
     print(explain_text(result, config, loop=args.loop, verbose=not args.brief))
     if args.cache_dir is not None:
@@ -326,6 +328,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
             telemetry.merge_counters(cache.stats.as_counters())
         print()
         print(cache_probe_text(probe))
+    if args.profile:
+        from repro.obs import profile_text
+
+        print()
+        print(profile_text(telemetry))
     _finish_telemetry(telemetry, args)
     return 0
 
@@ -355,6 +362,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
             detail = error.get("message") or error.get("type") or "?"
             print(f"  {status:7s} {entry['path']:32s} {detail}")
 
+    status = None
+    if not args.quiet and sys.stderr.isatty():
+        # A single live status line, redrawn in place on stderr so it
+        # never pollutes piped stdout output.
+        def status(line):
+            sys.stderr.write(f"\r\x1b[K{line}")
+            sys.stderr.flush()
+
     try:
         result = run_batch(
             args.inputs,
@@ -371,10 +386,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
             progress=progress if not args.quiet else None,
             stall_timeout=args.stall_timeout,
             program_timeout=args.program_timeout,
+            progress_path=args.progress_json,
+            status=status,
         )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    finally:
+        if status is not None:
+            sys.stderr.write("\r\x1b[K")
+            sys.stderr.flush()
 
     stats = result.stats
     cache = stats["cache"]
@@ -405,6 +426,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             json.dump(stats, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"run stats written to {args.stats_out}")
+    if args.progress_json:
+        print(f"live progress document written to {args.progress_json}")
     _finish_telemetry(telemetry, args)
     return 0 if result.ok else 1
 
@@ -508,6 +531,115 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if (failed or report.failures) else 0
 
 
+def _expand_perf_sources(sources: List[str]) -> List[str]:
+    from repro.batch.driver import expand_inputs
+
+    return expand_inputs(sources)
+
+
+def cmd_perf_record(args: argparse.Namespace) -> int:
+    from repro.obs import Ledger
+    from repro.perf import record_program
+
+    config = _config_from_args(args)
+    ledger = Ledger(args.ledger_dir)
+    try:
+        paths = _expand_perf_sources(args.sources)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for path in paths:
+        record, _ = record_program(
+            path,
+            kind=args.kind,
+            config=config,
+            entry=args.entry,
+            args=_parse_args_list(args.args),
+            fuel=args.fuel,
+        )
+        run_id = ledger.append(record)
+        cycles = record.get("cycles")
+        line = (
+            f"recorded {run_id}  {args.kind:8s} {record['workload']['name']:24s}"
+            f" wall {record['wall_s']:.3f}s"
+        )
+        if cycles is not None:
+            line += f"  cycles {cycles:.0f}"
+        print(line)
+    print(f"ledger: {ledger.path} ({len(ledger)} records)")
+    return 0
+
+
+def cmd_perf_list(args: argparse.Namespace) -> int:
+    from repro.obs import Ledger
+    from repro.report.tables import format_table
+
+    ledger = Ledger(args.ledger_dir)
+    records = ledger.runs(kind=args.kind, workload=args.workload)
+    if not records:
+        print(f"no matching records in {ledger.path}")
+        return 0
+    rows = []
+    for record in records:
+        cycles = record.get("cycles")
+        rows.append(
+            (
+                record.get("run_id", "?"),
+                record.get("kind", "?"),
+                record.get("workload", {}).get("name", "?"),
+                str(record.get("fingerprint", ""))[:10],
+                f"{record.get('wall_s') or 0:.3f}",
+                "-" if cycles is None else f"{cycles:.0f}",
+                record.get("host", "?"),
+            )
+        )
+    print(
+        format_table(
+            ["run", "kind", "workload", "config", "wall s", "cycles", "host"],
+            rows,
+            title=f"ledger: {ledger.path}",
+        )
+    )
+    return 0
+
+
+def cmd_perf_diff(args: argparse.Namespace) -> int:
+    from repro.obs import Ledger
+    from repro.perf import diff_text
+
+    ledger = Ledger(args.ledger_dir)
+    try:
+        old = ledger.resolve(args.run_a)
+        new = ledger.resolve(args.run_b)
+    except LookupError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(diff_text(old, new))
+    return 0
+
+
+def cmd_perf_check(args: argparse.Namespace) -> int:
+    from repro.obs import Ledger
+    from repro.perf import check_regression
+
+    baseline = Ledger(args.baseline).load()
+    current = Ledger(args.ledger_dir).load()
+    if not baseline:
+        print(f"no baseline records under {args.baseline}", file=sys.stderr)
+        return 2
+    gate_wall = {"auto": None, "on": True, "off": False}[args.gate_wall]
+    report = check_regression(
+        baseline,
+        current,
+        wall_threshold=args.wall_threshold,
+        floor_ms=args.floor_ms,
+        gate_wall=gate_wall,
+    )
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -584,6 +716,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="print the end-of-run telemetry summary table",
         )
         p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="write the metrics snapshot (counters, gauges, span "
+                 "histograms): Prometheus text, or canonical JSON when "
+                 "PATH ends in .json",
+        )
+        p.add_argument(
             "--obs-detail", action="store_true",
             help="also collect expensive per-event accounting "
                  "(per-hook tracer event counts)",
@@ -625,6 +763,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", nargs="?", const="", default=None, metavar="DIR",
         help="also report whether this result is warm in the batch "
              "result cache (default dir when no DIR is given)",
+    )
+    explain_p.add_argument(
+        "--profile", action="store_true",
+        help="append the per-phase self-time profile and flamegraph "
+             "folded stacks aggregated from the compilation span tree",
     )
     explain_p.set_defaults(fn=cmd_explain)
 
@@ -682,7 +825,96 @@ def build_parser() -> argparse.ArgumentParser:
              "overrunning program is retried once on the degraded "
              "ladder configuration, then reported as status=timeout",
     )
+    batch_p.add_argument(
+        "--progress-json", default=None, metavar="PATH",
+        help="continuously (re)write a machine-readable progress "
+             "document (schema repro-batch-progress/1) for external "
+             "watchers",
+    )
     batch_p.set_defaults(fn=cmd_batch)
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="record runs into the performance ledger and compare them",
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    def add_ledger_dir(p):
+        p.add_argument(
+            "--ledger-dir", default=None, metavar="DIR",
+            help="ledger location (default: $REPRO_LEDGER_DIR or "
+                 ".repro/ledger); a .jsonl file is used directly",
+        )
+
+    perf_record_p = perf_sub.add_parser(
+        "record",
+        help="compile (or simulate) programs and append one ledger "
+             "record per program",
+    )
+    perf_record_p.add_argument(
+        "sources", nargs="+",
+        help="program files, directories, or glob patterns",
+    )
+    perf_record_p.add_argument(
+        "--kind", choices=["compile", "simulate"], default="compile",
+        help="what to measure: compilation only, or compilation plus "
+             "the SPT machine model (records simulated cycles)",
+    )
+    perf_record_p.add_argument("--entry", default="main")
+    perf_record_p.add_argument("--args", default="",
+                               help="comma-separated int args")
+    perf_record_p.add_argument("--fuel", type=int, default=50_000_000)
+    add_config_options(perf_record_p)
+    add_ledger_dir(perf_record_p)
+    perf_record_p.set_defaults(fn=cmd_perf_record)
+
+    perf_list_p = perf_sub.add_parser("list", help="list ledger records")
+    perf_list_p.add_argument("--kind", default=None,
+                             help="filter by record kind")
+    perf_list_p.add_argument("--workload", default=None,
+                             help="filter by workload name")
+    add_ledger_dir(perf_list_p)
+    perf_list_p.set_defaults(fn=cmd_perf_list)
+
+    perf_diff_p = perf_sub.add_parser(
+        "diff",
+        help="aligned metric table between two ledger records",
+    )
+    perf_diff_p.add_argument(
+        "run_a", help="baseline run: a run-id prefix or @-N position"
+    )
+    perf_diff_p.add_argument(
+        "run_b", help="candidate run: a run-id prefix or @-N position"
+    )
+    add_ledger_dir(perf_diff_p)
+    perf_diff_p.set_defaults(fn=cmd_perf_diff)
+
+    perf_check_p = perf_sub.add_parser(
+        "check",
+        help="noise-aware regression verdict of the current ledger "
+             "against a baseline (CI exit code)",
+    )
+    perf_check_p.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="baseline ledger directory or .jsonl file",
+    )
+    perf_check_p.add_argument(
+        "--wall-threshold", type=float, default=0.5, metavar="FRAC",
+        help="relative wall/self-time growth beyond which a matched "
+             "record fails (default 0.5 = +50%%)",
+    )
+    perf_check_p.add_argument(
+        "--floor-ms", type=float, default=25.0, metavar="MS",
+        help="absolute growth floor below which wall-time noise never "
+             "fails (default 25 ms)",
+    )
+    perf_check_p.add_argument(
+        "--gate-wall", choices=["auto", "on", "off"], default="auto",
+        help="wall-time gating: auto = only for same-host record pairs "
+             "(deterministic metrics always gate)",
+    )
+    add_ledger_dir(perf_check_p)
+    perf_check_p.set_defaults(fn=cmd_perf_check)
 
     report_p = sub.add_parser("report", help="regenerate paper tables/figures")
     report_p.add_argument("targets", nargs="*", help="table1 fig14 ... (default: all)")
@@ -750,7 +982,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed early (`repro perf diff | head`);
+        # detach stdout so the interpreter's shutdown flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,30 +1,52 @@
-"""Observability: compilation telemetry (spans, counters, events) and
-pluggable sinks.  See ``docs/observability.md``."""
+"""Observability: compilation telemetry (spans, counters, events,
+histograms), pluggable sinks, metric exporters, and the persistent run
+ledger.  See ``docs/observability.md``."""
 
+from repro.obs.ledger import LEDGER_SCHEMA, Ledger, host_token, make_record
 from repro.obs.sinks import (
     ChromeTraceSink,
     JsonlSink,
     Sink,
     SummarySink,
+    metrics_json,
+    profile_text,
+    prometheus_text,
     summary_text,
 )
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
     Event,
+    Histogram,
+    MetricsRegistry,
     NullTelemetry,
     Span,
     Telemetry,
+    Timer,
+    folded_stacks,
+    self_durations,
 )
 
 __all__ = [
     "ChromeTraceSink",
     "Event",
+    "Histogram",
     "JsonlSink",
+    "LEDGER_SCHEMA",
+    "Ledger",
+    "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
     "Sink",
     "Span",
     "SummarySink",
     "Telemetry",
+    "Timer",
+    "folded_stacks",
+    "host_token",
+    "make_record",
+    "metrics_json",
+    "profile_text",
+    "prometheus_text",
+    "self_durations",
     "summary_text",
 ]

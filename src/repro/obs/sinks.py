@@ -1,4 +1,4 @@
-"""Telemetry sinks: JSONL, Chrome trace-event, and summary table.
+"""Telemetry sinks and metric exporters.
 
 A sink receives finished spans and events as they close and gets one
 ``on_close`` call with the whole telemetry object at the end of the
@@ -13,16 +13,44 @@ the summary's totals) buffer until ``on_close``.
   timeline of a compilation.
 * :class:`SummarySink` -- renders a human-readable end-of-run table of
   phase durations and counter totals to a stream.
+
+Two stateless exporters serialize a :class:`~repro.obs.telemetry.
+MetricsRegistry` snapshot for machine consumers (both accept a
+registry, a telemetry object, or an already-built snapshot dict):
+
+* :func:`prometheus_text` -- the Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``_bucket{le=...}`` series per
+  histogram), ready to serve from a ``/metrics`` endpoint;
+* :func:`metrics_json` -- the canonical JSON document (sorted keys,
+  trailing newline; byte-identical for identical metric states).
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, List, Optional
+import math
+import re
+from typing import IO, Dict, List, Optional, Union
 
-from repro.obs.telemetry import Event, Span, Telemetry
+from repro.obs.telemetry import (
+    Event,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    folded_stacks,
+    self_durations,
+)
 
-__all__ = ["ChromeTraceSink", "JsonlSink", "Sink", "SummarySink", "summary_text"]
+__all__ = [
+    "ChromeTraceSink",
+    "JsonlSink",
+    "Sink",
+    "SummarySink",
+    "metrics_json",
+    "profile_text",
+    "prometheus_text",
+    "summary_text",
+]
 
 
 class Sink:
@@ -75,6 +103,10 @@ class JsonlSink(Sink):
             self._emit(
                 {"type": "gauge", "name": name, "value": telemetry.gauges[name]}
             )
+        for name in sorted(telemetry.histograms):
+            record = {"type": "histogram", "name": name}
+            record.update(telemetry.histograms[name].snapshot())
+            self._emit(record)
         self._stream.flush()
         if self._owns:
             self._stream.close()
@@ -187,6 +219,27 @@ def summary_text(telemetry: Telemetry) -> str:
         sections.append(
             format_table(["gauge", "value"], rows, title="telemetry: gauges")
         )
+    if telemetry.histograms:
+        rows = []
+        for name in sorted(telemetry.histograms):
+            hist = telemetry.histograms[name]
+            rows.append(
+                (
+                    name,
+                    hist.count,
+                    f"{hist.sum:.3f}",
+                    f"{hist.quantile(0.5):.3f}",
+                    f"{hist.quantile(0.9):.3f}",
+                    f"{hist.quantile(0.99):.3f}",
+                )
+            )
+        sections.append(
+            format_table(
+                ["histogram", "count", "sum", "p50", "p90", "p99"],
+                rows,
+                title="telemetry: histograms",
+            )
+        )
     if telemetry.events:
         sections.append(f"telemetry: {len(telemetry.events)} events recorded")
     return "\n\n".join(sections) if sections else "telemetry: nothing recorded"
@@ -203,3 +256,116 @@ class SummarySink(Sink):
 
         stream = self._stream or sys.stdout
         stream.write(summary_text(telemetry) + "\n")
+
+
+def profile_text(telemetry: Telemetry) -> str:
+    """The per-phase self-time profile: a table sorted by self time plus
+    flamegraph "folded stacks" lines (``root;child self_ms``) that feed
+    straight into ``flamegraph.pl`` or speedscope."""
+    from repro.report.tables import format_table
+
+    if not telemetry.spans:
+        return "profile: no spans recorded"
+    selfs = self_durations(telemetry.spans)
+    inclusive = telemetry.phase_durations()
+    counts: Dict[str, int] = {}
+    for span in telemetry.spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+    total_self = sum(selfs.values()) or 1.0
+    rows = [
+        (
+            name,
+            counts[name],
+            f"{selfs[name] * 1e3:.2f}",
+            f"{inclusive[name] * 1e3:.2f}",
+            f"{100.0 * selfs[name] / total_self:.1f}%",
+        )
+        for name in sorted(selfs, key=selfs.get, reverse=True)
+    ]
+    table = format_table(
+        ["phase", "count", "self ms", "incl ms", "self %"],
+        rows,
+        title="profile: per-phase self time",
+    )
+    folded = folded_stacks(telemetry.spans)
+    lines = [
+        f"{stack} {folded[stack] * 1e3:.3f}"
+        for stack in sorted(folded, key=folded.get, reverse=True)
+    ]
+    return table + "\n\nfolded stacks (ms):\n" + "\n".join(lines)
+
+
+# --- metric exporters -------------------------------------------------
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A legal Prometheus metric name: prefixed, separators folded to
+    underscores."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if prefix:
+        sanitized = f"{prefix}_{sanitized}"
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _resolve_snapshot(metrics: Union[MetricsRegistry, Telemetry, Dict]) -> Dict:
+    if isinstance(metrics, dict):
+        return metrics
+    if isinstance(metrics, MetricsRegistry):
+        return metrics.snapshot()
+    registry = MetricsRegistry()
+    registry.merge_telemetry(metrics)
+    return registry.snapshot()
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
+
+
+def prometheus_text(
+    metrics: Union[MetricsRegistry, Telemetry, Dict], prefix: str = "repro"
+) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition
+    format (version 0.0.4): ``# TYPE`` headers, one sample per line,
+    histograms expanded into cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``."""
+    snapshot = _resolve_snapshot(metrics)
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in hist.get("buckets", []):
+            cumulative = count
+            le = "+Inf" if bound is None else _prom_value(bound)
+            lines.append(f'{metric}_bucket{{le="{le}"}} {count}')
+        if not hist.get("buckets") or hist["buckets"][-1][0] is not None:
+            # Prometheus requires a closing +Inf bucket equal to count.
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {hist.get("count", cumulative)}'
+            )
+        lines.append(f"{metric}_sum {_prom_value(hist.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {hist.get('count', 0)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def metrics_json(metrics: Union[MetricsRegistry, Telemetry, Dict]) -> str:
+    """The canonical JSON export: sorted keys, newline-terminated;
+    byte-identical for identical metric states."""
+    snapshot = _resolve_snapshot(metrics)
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"

@@ -1,7 +1,7 @@
 """Compilation telemetry: hierarchical spans, counters, and events.
 
 The instrumentation layer every phase of the SPT pipeline reports
-through.  Three primitives:
+through.  Four primitives:
 
 * **spans** -- wall-clock timed, named, hierarchically nested scopes
   (one per pipeline phase, one per analyzed loop, ...), each carrying
@@ -9,8 +9,20 @@ through.  Three primitives:
 * **counters / gauges** -- monotonically accumulated totals (search
   nodes, cost evaluations, interpreter instructions retired) and
   last-value measurements;
+* **histograms / timers** -- log-bucketed distributions
+  (:class:`Histogram`) with count/sum/min/max and estimated
+  p50/p90/p99, fed directly via :meth:`Telemetry.observe` or through a
+  :class:`Timer` scope; every closed span also auto-observes its
+  duration into the ``span.<name>.ms`` histogram, so phase-latency
+  distributions come for free;
 * **events** -- timestamped structured records (a transform failure, an
   SPT round's fork/commit/re-execution outcome).
+
+:class:`MetricsRegistry` aggregates counters/gauges/histograms from any
+number of telemetry objects into one named metric set whose
+``snapshot()`` is what the exporters in :mod:`repro.obs.sinks`
+(Prometheus text, canonical JSON) and the run ledger
+(:mod:`repro.obs.ledger`) serialize.
 
 Everything is routed to pluggable :mod:`repro.obs.sinks` and kept
 in-memory for end-of-run reporting (``repro explain``, the summary
@@ -34,15 +46,22 @@ drives one telemetry instance from one thread, matching the pipeline.
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Dict, Iterable, List, Optional
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Event",
+    "Histogram",
+    "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
     "Span",
     "Telemetry",
+    "Timer",
+    "folded_stacks",
+    "self_durations",
 ]
 
 
@@ -115,6 +134,275 @@ class Event:
         return f"Event({self.name!r}, {self.attrs})"
 
 
+class Histogram:
+    """A fixed, log2-bucketed distribution of non-negative samples.
+
+    Buckets are shared by every histogram: powers of two from ``2**-30``
+    (~1 ns when measuring milliseconds) to ``2**40``, plus an overflow
+    bucket.  The fixed geometry makes histograms mergeable without
+    rebinning (worker processes, the registry) and keeps quantile
+    estimates within one bucket -- a factor of two -- of the exact
+    value; estimates are additionally clamped to the observed
+    ``[min, max]``, so single-valued histograms report exactly.
+
+    Zero and negative samples land in the lowest bucket (they occur
+    when timers measure below clock resolution); ``sum``/``min``/
+    ``max`` still record them exactly.
+    """
+
+    #: Bucket upper bounds, shared by all histograms.
+    BOUNDS: Tuple[float, ...] = tuple(2.0 ** e for e in range(-30, 41))
+
+    __slots__ = ("count", "sum", "min", "max", "_counts")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: Sparse bucket-index -> sample count (index ``len(BOUNDS)``
+        #: is the overflow bucket).
+        self._counts: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = bisect_left(self.BOUNDS, value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram (same buckets)."""
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for index, n in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + n
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1); NaN when empty.
+
+        The estimate is the geometric midpoint of the bucket the rank
+        falls in, clamped to the observed ``[min, max]``.
+        """
+        if not self.count:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= rank:
+                if index >= len(self.BOUNDS):
+                    return self.max
+                upper = self.BOUNDS[index]
+                lower = self.BOUNDS[index - 1] if index > 0 else upper / 2.0
+                estimate = math.sqrt(lower * upper)
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` for the populated bucket
+        range (Prometheus ``le`` semantics; overflow bound is +inf)."""
+        if not self._counts:
+            return []
+        buckets: List[Tuple[float, int]] = []
+        cumulative = 0
+        lowest = min(self._counts)
+        highest = max(self._counts)
+        for index in range(lowest, highest + 1):
+            cumulative += self._counts.get(index, 0)
+            bound = (
+                self.BOUNDS[index] if index < len(self.BOUNDS) else math.inf
+            )
+            buckets.append((bound, cumulative))
+        return buckets
+
+    def snapshot(self) -> Dict:
+        """The canonical JSON-serializable summary of this histogram."""
+        empty = not self.count
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "p50": None if empty else self.quantile(0.50),
+            "p90": None if empty else self.quantile(0.90),
+            "p99": None if empty else self.quantile(0.99),
+            "buckets": [
+                [None if math.isinf(bound) else bound, count]
+                for bound, count in self.cumulative_buckets()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "Histogram(empty)"
+        return (
+            f"Histogram(n={self.count}, sum={self.sum:g}, "
+            f"p50={self.quantile(0.5):g})"
+        )
+
+
+class Timer:
+    """Context manager observing its elapsed milliseconds into a
+    :class:`Histogram`::
+
+        with Timer(registry.histogram("request_ms")):
+            handle(request)
+
+    ``Telemetry.time(name)`` builds one bound to the telemetry's own
+    clock and histogram set.
+    """
+
+    __slots__ = ("histogram", "_clock", "_start")
+
+    def __init__(self, histogram: Histogram, clock=None):
+        self.histogram = histogram
+        self._clock = clock or time.perf_counter
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.histogram.observe((self._clock() - self._start) * 1e3)
+        return False
+
+
+def self_durations(spans: Iterable["Span"]) -> Dict[str, float]:
+    """Total *self* seconds per span name: each span's duration minus
+    its direct children's durations.  Unlike
+    :meth:`Telemetry.phase_durations` (inclusive totals, where nested
+    phases double-count), self times sum to the root's duration, which
+    makes them the right unit for cross-run comparison (the ledger and
+    ``repro perf``)."""
+    spans = list(spans)
+    child_total: Dict[int, float] = {}
+    for span in spans:
+        if span.parent is not None:
+            child_total[span.parent] = (
+                child_total.get(span.parent, 0.0) + span.duration
+            )
+    totals: Dict[str, float] = {}
+    for span in spans:
+        self_time = span.duration - child_total.get(span.span_id, 0.0)
+        totals[span.name] = totals.get(span.name, 0.0) + max(self_time, 0.0)
+    return totals
+
+
+def folded_stacks(spans: Iterable["Span"]) -> Dict[str, float]:
+    """Flamegraph folded-stacks aggregation of a span tree.
+
+    Returns ``{"root;child;grandchild": self_seconds}`` -- one entry
+    per distinct span-name path, carrying the total *self* time spent
+    there.  The text rendering (``name path <microseconds>`` per line)
+    is what ``flamegraph.pl`` / speedscope consume."""
+    spans = list(spans)
+    by_id = {span.span_id: span for span in spans}
+    child_total: Dict[int, float] = {}
+    for span in spans:
+        if span.parent is not None:
+            child_total[span.parent] = (
+                child_total.get(span.parent, 0.0) + span.duration
+            )
+    stacks: Dict[str, float] = {}
+    for span in spans:
+        names = [span.name]
+        parent = span.parent
+        while parent is not None:
+            outer = by_id.get(parent)
+            if outer is None:
+                break
+            names.append(outer.name)
+            parent = outer.parent
+        path = ";".join(reversed(names))
+        self_time = span.duration - child_total.get(span.span_id, 0.0)
+        stacks[path] = stacks.get(path, 0.0) + max(self_time, 0.0)
+    return stacks
+
+
+class MetricsRegistry:
+    """A named set of counters, gauges, and histograms with one
+    canonical ``snapshot()``.
+
+    The registry is the aggregation point *above* individual telemetry
+    runs: a long-lived process (the future ``repro serve`` daemon)
+    keeps one registry and folds each request's telemetry into it;
+    one-shot CLI commands build a throwaway registry just to export.
+    The exporters in :mod:`repro.obs.sinks` (:func:`~repro.obs.sinks.
+    prometheus_text`, :func:`~repro.obs.sinks.metrics_json`) consume
+    the snapshot, never the registry, so they also accept snapshots
+    that crossed a process or wire boundary.
+    """
+
+    SCHEMA = "repro-metrics/1"
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram called ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def timer(self, name: str) -> Timer:
+        return Timer(self.histogram(name))
+
+    def merge_telemetry(self, telemetry: "Telemetry") -> None:
+        """Fold one finished run's counters, gauges, histograms, and
+        per-phase span self-times (as ``span.self_ms.<name>`` gauges)
+        into the registry."""
+        for name, n in telemetry.counters.items():
+            self.count(name, n)
+        for name, value in telemetry.gauges.items():
+            self.gauge(name, value)
+        for name, histogram in telemetry.histograms.items():
+            self.histogram(name).merge(histogram)
+        for name, seconds in self_durations(telemetry.spans).items():
+            self.gauge(f"span.self_ms.{name}", seconds * 1e3)
+
+    def snapshot(self) -> Dict:
+        """The canonical, JSON-serializable state of every metric."""
+        return {
+            "schema": self.SCHEMA,
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name] for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self.histograms[name].snapshot()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, "
+            f"{len(self.histograms)} histograms)"
+        )
+
+
 class _SpanScope:
     """Context manager closing one span (re-entrant per span only)."""
 
@@ -169,6 +457,7 @@ class Telemetry:
         self.spans: List[Span] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
         self.events: List[Event] = []
         self._closed = False
 
@@ -202,6 +491,9 @@ class Telemetry:
             if top is span:
                 break
         self.spans.append(span)
+        # Every span feeds the per-phase latency distribution, so
+        # histograms of pipeline phases need no extra instrumentation.
+        self.observe(f"span.{span.name}.ms", span.duration * 1e3)
         for sink in self.sinks:
             sink.on_span(span)
 
@@ -226,6 +518,26 @@ class Telemetry:
         """
         for name, n in counters.items():
             self.count(name, n)
+
+    # -- histograms / timers ---------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram called ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def time(self, name: str) -> Timer:
+        """A scope observing its elapsed milliseconds into ``name``::
+
+            with telemetry.time("cache.lookup_ms"):
+                record = cache.get(key)
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        return Timer(histogram, clock=self._clock)
 
     # -- events ----------------------------------------------------------
 
@@ -282,6 +594,15 @@ class Telemetry:
             totals[span.name] = totals.get(span.name, 0.0) + span.duration
         return totals
 
+    def phase_self_durations(self) -> Dict[str, float]:
+        """Total *self* seconds per span name (see :func:`self_durations`)."""
+        return self_durations(self.spans)
+
+    def folded_stacks(self) -> Dict[str, float]:
+        """Flamegraph folded stacks of the span tree
+        (see :func:`folded_stacks`)."""
+        return folded_stacks(self.spans)
+
 
 class NullTelemetry:
     """The no-op telemetry every un-observed compilation runs with."""
@@ -293,6 +614,7 @@ class NullTelemetry:
     events: tuple = ()
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
+    histograms: Dict[str, Histogram] = {}
 
     def span(self, name: str, **attrs) -> _NullScope:
         return _NULL_SCOPE
@@ -302,6 +624,12 @@ class NullTelemetry:
 
     def gauge(self, name: str, value: float) -> None:
         pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def time(self, name: str) -> _NullScope:
+        return _NULL_SCOPE
 
     def merge_counters(self, counters: Dict[str, float]) -> None:
         pass

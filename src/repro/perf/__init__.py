@@ -1,0 +1,35 @@
+"""Performance tracking: run recording into the ledger and cross-run
+regression comparison.
+
+This layer sits above ``repro.core`` + ``repro.obs`` + ``repro.machine``
+and powers the ``repro perf`` CLI family:
+
+* :func:`~repro.perf.runner.record_program` -- compile (and optionally
+  simulate) one program under an observing telemetry and produce a
+  ledger record carrying phase self-times, deterministic counters, and
+  simulated cycles;
+* :func:`~repro.perf.runner.simulate_program` -- the shared
+  compile-result -> SPT-machine-model simulation used by both
+  ``repro simulate`` and ``perf record --kind simulate``;
+* :func:`~repro.perf.compare.diff_text` / :func:`~repro.perf.compare.
+  check_regression` -- align ledger records on fingerprint x workload x
+  host and render deltas or a noise-aware CI verdict.
+"""
+
+from repro.perf.compare import (
+    CheckReport,
+    check_regression,
+    diff_text,
+    match_key,
+)
+from repro.perf.runner import SimOutcome, record_program, simulate_program
+
+__all__ = [
+    "CheckReport",
+    "SimOutcome",
+    "check_regression",
+    "diff_text",
+    "match_key",
+    "record_program",
+    "simulate_program",
+]

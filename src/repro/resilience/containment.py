@@ -50,9 +50,15 @@ def run_contained(
     watchdog: Optional[Watchdog] = None
     if deadline_ms is not None:
         watchdog = Watchdog(deadline_ms=deadline_ms).push()
+    attrs = {}
+    if loop is not None:
+        attrs["loop"] = loop
+    if rung is not None:
+        attrs["rung"] = rung
     try:
-        maybe_inject(phase)
-        return fn(watchdog), None
+        with telemetry.span(phase, **attrs):
+            maybe_inject(phase)
+            return fn(watchdog), None
     except PASSTHROUGH:
         raise
     except Exception as exc:  # noqa: BLE001 - the firewall's whole job

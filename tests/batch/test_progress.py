@@ -1,0 +1,189 @@
+"""Live batch progress: the tracker's bookkeeping, the progress.json
+schema validator, and the heartbeat acceptance loop through run_batch."""
+
+import json
+
+import pytest
+
+from repro.batch import run_batch
+from repro.batch.progress import (
+    PROGRESS_SCHEMA,
+    ProgressTracker,
+    validate_progress,
+)
+from repro.obs import Telemetry
+
+OK_PROGRAM = """
+global int data[128];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 127];
+        int y = (x * 9 + i) ^ (x >> 1);
+        data[i & 127] = y & 255;
+        s += y & 7;
+    }
+    return s;
+}
+"""
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    corpus_dir = tmp_path / "corpus"
+    corpus_dir.mkdir()
+    for index in range(3):
+        (corpus_dir / f"prog{index}.c").write_text(
+            OK_PROGRAM.replace("y & 7", f"y & {7 + index}")
+        )
+    return corpus_dir
+
+
+# -- tracker unit behaviour --------------------------------------------------
+
+
+def test_tracker_counts_and_in_flight_lifecycle():
+    clock = FakeClock()
+    tracker = ProgressTracker(total=3, jobs=2, clock=clock)
+    tracker.on_start(0, 0, "a.c")
+    tracker.on_start(1, 1, "b.c")
+    assert len(tracker.in_flight) == 2
+    assert tracker.heartbeats == 2  # start counts as the first heartbeat
+    clock.advance(1.0)
+    tracker.on_heartbeat(0, 0)
+    assert tracker.worker_beats[0] == 2
+    tracker.on_done(0, {"status": "ok", "cached": True})
+    tracker.on_done(1, {"status": "error"})
+    assert (tracker.done, tracker.ok, tracker.failed, tracker.cached) == (
+        2, 1, 1, 1,
+    )
+    assert tracker.in_flight == {}
+
+
+def test_tracker_liveness_clock():
+    clock = FakeClock()
+    tracker = ProgressTracker(total=1, jobs=1, clock=clock)
+    clock.advance(5.0)
+    assert tracker.seconds_since_heartbeat() == pytest.approx(5.0)
+    tracker.on_heartbeat(0, 0)
+    assert tracker.seconds_since_heartbeat() == 0.0
+    clock.advance(2.0)
+    tracker.note_activity()
+    assert tracker.seconds_since_heartbeat() == 0.0
+
+
+def test_stale_heartbeat_for_finished_task_does_not_resurrect_slot():
+    tracker = ProgressTracker(total=2, jobs=1, clock=FakeClock())
+    tracker.on_start(0, 0, "a.c")
+    tracker.on_done(0, {"status": "ok"})
+    tracker.on_heartbeat(0, 0)  # late beat from the finished task
+    assert tracker.in_flight == {}
+
+
+def test_eta_and_status_line():
+    clock = FakeClock()
+    tracker = ProgressTracker(total=4, jobs=2, clock=clock)
+    assert tracker.eta_s() is None
+    clock.advance(10.0)
+    tracker.on_done(0, {"status": "ok"})
+    assert tracker.eta_s() == pytest.approx(30.0)
+    line = tracker.status_line()
+    assert line.startswith("batch 1/4 | ok 1")
+    assert "eta 30s" in line
+
+
+def test_snapshot_validates_and_write_is_atomic(tmp_path):
+    clock = FakeClock()
+    tracker = ProgressTracker(total=2, jobs=2, clock=clock)
+    tracker.on_start(0, 0, "a.c")
+    clock.advance(0.5)
+    snapshot = tracker.snapshot()
+    assert validate_progress(snapshot) == []
+    assert snapshot["schema"] == PROGRESS_SCHEMA
+    assert snapshot["in_flight"][0]["running_s"] == pytest.approx(0.5)
+
+    path = tmp_path / "progress.json"
+    tracker.write(str(path))
+    assert validate_progress(json.loads(path.read_text())) == []
+    assert not list(tmp_path.glob("progress.json.tmp.*"))
+
+
+def test_validate_progress_flags_broken_documents():
+    assert validate_progress([]) == ["progress document is not an object"]
+    good = ProgressTracker(total=1, jobs=1, clock=FakeClock()).snapshot()
+    for mutation, needle in [
+        ({"schema": "other/9"}, "schema"),
+        ({"done": -1}, "done"),
+        ({"eta_s": "soon"}, "eta_s"),
+        ({"in_flight": "nope"}, "in_flight"),
+        ({"done": 5}, "done exceeds total"),
+        ({"ok": 1}, "ok + failed != done"),
+    ]:
+        doc = dict(good)
+        doc.update(mutation)
+        problems = validate_progress(doc)
+        assert any(needle in p for p in problems), (mutation, problems)
+
+
+# -- acceptance: live progress through run_batch -----------------------------
+
+
+def test_run_batch_emits_heartbeats_and_valid_progress_json(
+    corpus, tmp_path
+):
+    """Every worker that runs a program must heartbeat at least once,
+    the final progress.json must validate against the schema, and the
+    one-line status must have been rendered."""
+    progress_path = tmp_path / "progress.json"
+    lines = []
+    telemetry = Telemetry()
+    result = run_batch(
+        [str(corpus)],
+        args=(48,),
+        jobs=2,
+        cache_dir=str(tmp_path / "cache"),
+        telemetry=telemetry,
+        progress_path=str(progress_path),
+        heartbeat_s=0.05,
+        status=lines.append,
+    )
+    assert all(p["status"] == "ok" for p in result.manifest["programs"])
+    assert result.stats["heartbeats"] >= 3  # >= one per started program
+
+    document = json.loads(progress_path.read_text())
+    assert validate_progress(document) == []
+    assert document["done"] == document["total"] == 3
+    assert document["ok"] == 3
+    assert document["in_flight"] == []
+    assert document["heartbeats"] == result.stats["heartbeats"]
+
+    assert lines, "status callback never invoked"
+    assert lines[-1].startswith("batch 3/3 | ok 3")
+
+    # Worker-side observability flowed back into the driver telemetry.
+    assert any(
+        name.startswith(("selection.", "partition.", "transform."))
+        for name in telemetry.counters
+    )
+
+
+def test_run_batch_rejects_bad_heartbeat_interval(corpus, tmp_path):
+    with pytest.raises(ValueError):
+        run_batch(
+            [str(corpus)],
+            jobs=1,
+            cache_dir=str(tmp_path / "cache"),
+            heartbeat_s=0.0,
+        )

@@ -101,7 +101,7 @@ def test_double_timeout_reports_timeout_status(prog, tmp_path, monkeypatch):
 
 
 def _task_swallowing_worker(task_queue, result_queue, worker_id, cache_dir,
-                            claim):
+                            claim, *extra):
     # Pathological worker: dequeues a task, reports nothing, exits
     # cleanly.  The driver sees a clean exit (no crash to attribute)
     # and the task can only be recovered by the stall backstop.

@@ -1,0 +1,158 @@
+"""The persistent run ledger: append/load round-trips, concurrent
+writers, corruption tolerance, and run references."""
+
+import json
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.obs import LEDGER_SCHEMA, Ledger, host_token, make_record
+from repro.obs.telemetry import Telemetry
+
+
+def _record(name="golden", kind="compile", **kwargs):
+    return make_record(kind, {"name": name}, "cfg-fingerprint", **kwargs)
+
+
+def test_append_load_round_trip(tmp_path):
+    ledger = Ledger(tmp_path / "ledger")
+    record = _record(wall_s=0.25, cycles=1234)
+    run_id = ledger.append(record)
+    assert run_id == record["run_id"]
+    loaded = ledger.load()
+    assert len(loaded) == 1
+    assert loaded[0] == record
+    assert loaded[0]["schema"] == LEDGER_SCHEMA
+    assert loaded[0]["host"] == host_token()
+
+
+def test_make_record_embeds_telemetry_aggregates():
+    telemetry = Telemetry()
+    with telemetry.span("search"):
+        with telemetry.span("transform"):
+            pass
+    telemetry.count("search.nodes", 7)
+    telemetry.gauge("fuel", 3.0)
+    record = _record(telemetry=telemetry)
+    assert set(record["phase_self_ms"]) == {"search", "transform"}
+    assert all(ms >= 0.0 for ms in record["phase_self_ms"].values())
+    assert record["counters"] == {"search.nodes": 7}
+    assert record["gauges"] == {"fuel": 3.0}
+
+
+def test_append_rejects_foreign_schema_and_missing_run_id(tmp_path):
+    ledger = Ledger(tmp_path)
+    with pytest.raises(ValueError):
+        ledger.append({"schema": LEDGER_SCHEMA})
+    bad = _record()
+    bad["schema"] = "someone-elses/9"
+    with pytest.raises(ValueError):
+        ledger.append(bad)
+    assert ledger.load() == []
+
+
+def test_load_skips_corrupt_and_foreign_lines(tmp_path):
+    ledger = Ledger(tmp_path)
+    good = _record()
+    ledger.append(good)
+    with open(ledger.path, "a") as handle:
+        handle.write("{truncated json\n")
+        handle.write('"not an object"\n')
+        handle.write(json.dumps({"schema": "other-tool/1", "x": 1}) + "\n")
+        handle.write("\n")
+    later = _record(name="second")
+    ledger.append(later)
+    loaded = ledger.load()
+    assert [r["run_id"] for r in loaded] == [good["run_id"], later["run_id"]]
+
+
+def test_ledger_accepts_direct_jsonl_file_path(tmp_path):
+    file_path = tmp_path / "baseline.jsonl"
+    writer = Ledger(file_path)
+    writer.append(_record())
+    assert file_path.exists()
+    assert len(Ledger(file_path).load()) == 1
+
+
+def test_env_var_overrides_default_directory(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "from-env"))
+    ledger = Ledger()
+    ledger.append(_record())
+    assert ledger.path == tmp_path / "from-env" / "runs.jsonl"
+    assert len(ledger.load()) == 1
+
+
+def test_runs_filters_by_kind_workload_fingerprint(tmp_path):
+    ledger = Ledger(tmp_path)
+    ledger.append(_record(name="a", kind="compile"))
+    ledger.append(_record(name="a", kind="simulate"))
+    ledger.append(_record(name="b", kind="compile"))
+    assert len(ledger.runs(kind="compile")) == 2
+    assert len(ledger.runs(workload="a")) == 2
+    assert len(ledger.runs(kind="simulate", workload="b")) == 0
+    assert len(ledger.runs(fingerprint="cfg-fingerprint")) == 3
+    assert len(ledger.runs(host=host_token())) == 3
+
+
+def test_resolve_by_position_and_prefix(tmp_path):
+    ledger = Ledger(tmp_path)
+    first = _record(name="first")
+    second = _record(name="second")
+    ledger.append(first)
+    ledger.append(second)
+    assert ledger.resolve("@-1")["run_id"] == second["run_id"]
+    assert ledger.resolve("@0")["run_id"] == first["run_id"]
+    assert ledger.resolve(first["run_id"][:6])["run_id"] == first["run_id"]
+    with pytest.raises(LookupError):
+        ledger.resolve("@99")
+    with pytest.raises(LookupError):
+        ledger.resolve("zzzzzz")
+    with pytest.raises(LookupError):
+        Ledger(tmp_path / "empty").resolve("@-1")
+
+
+def _hammer(directory, writer_id, appends):
+    ledger = Ledger(directory)
+    for sequence in range(appends):
+        record = make_record(
+            "compile",
+            {"name": f"w{writer_id}"},
+            "cfg-fingerprint",
+            extra={"writer": writer_id, "seq": sequence},
+        )
+        ledger.append(record)
+
+
+def test_concurrent_writers_interleave_whole_lines(tmp_path):
+    """Parallel appenders (CI shards, batch workers) must never tear
+    each other's lines: every record survives, parseable, in per-writer
+    order."""
+    writers, appends = 4, 12
+    directory = str(tmp_path / "ledger")
+    ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
+    procs = [
+        ctx.Process(target=_hammer, args=(directory, w, appends))
+        for w in range(writers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    # Every raw line parses -- no torn writes.
+    with open(Ledger(directory).path) as handle:
+        lines = [line for line in handle if line.strip()]
+    assert len(lines) == writers * appends
+    records = [json.loads(line) for line in lines]
+
+    # All records present, and each writer's stream is in order.
+    for writer_id in range(writers):
+        seqs = [
+            r["extra"]["seq"]
+            for r in records
+            if r["extra"]["writer"] == writer_id
+        ]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == appends

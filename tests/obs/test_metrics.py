@@ -1,0 +1,240 @@
+"""Metrics primitives: histogram math, the registry, and the exporters.
+
+The histogram's quantile estimates are gated by a hypothesis property:
+for any sample set, every estimate lies within one log2 bucket (a
+factor of two) of the exact empirical quantile, and is clamped to the
+observed [min, max].  The Prometheus exporter's output is validated
+line-by-line against the text exposition format grammar.
+"""
+
+import json
+import math
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    metrics_json,
+    prometheus_text,
+)
+from tests.obs.test_telemetry import make_telemetry
+
+# -- histogram bucket / quantile math ---------------------------------------
+
+
+def test_empty_histogram_snapshot():
+    hist = Histogram()
+    snap = hist.snapshot()
+    assert snap["count"] == 0
+    assert snap["sum"] == 0.0
+    assert snap["min"] is None and snap["max"] is None
+    assert snap["p50"] is None
+    assert snap["buckets"] == []
+
+
+def test_histogram_counts_sum_min_max_exactly():
+    hist = Histogram()
+    for value in [3.0, 0.25, 17.5, 3.0]:
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(23.75)
+    assert hist.min == 0.25
+    assert hist.max == 17.5
+
+
+def test_single_value_histogram_reports_exact_quantiles():
+    hist = Histogram()
+    hist.observe(42.0)
+    # Clamping to [min, max] makes every quantile exact here.
+    assert hist.quantile(0.5) == 42.0
+    assert hist.quantile(0.99) == 42.0
+
+
+def test_cumulative_buckets_are_monotonic_and_le_style():
+    hist = Histogram()
+    for value in [0.7, 1.5, 3.0, 100.0]:
+        hist.observe(value)
+    buckets = hist.cumulative_buckets()
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts)
+    assert counts[-1] == hist.count
+    # Every bound holds at least the samples <= it.
+    for bound, cumulative in buckets:
+        exact = sum(1 for v in [0.7, 1.5, 3.0, 100.0] if v <= bound)
+        assert cumulative >= exact
+
+
+def test_histogram_merge_equals_combined_observation():
+    left, right, both = Histogram(), Histogram(), Histogram()
+    for value in [1.0, 2.0, 64.0]:
+        left.observe(value)
+        both.observe(value)
+    for value in [0.125, 9.0]:
+        right.observe(value)
+        both.observe(value)
+    left.merge(right)
+    assert left.snapshot() == both.snapshot()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.floats(
+            min_value=1e-6, max_value=1e9,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    st.sampled_from([0.5, 0.9, 0.99]),
+)
+def test_quantile_estimate_within_bucket_resolution(samples, q):
+    hist = Histogram()
+    for value in samples:
+        hist.observe(value)
+    estimate = hist.quantile(q)
+    ordered = sorted(samples)
+    exact = ordered[max(1, math.ceil(q * len(ordered))) - 1]
+    # The estimate is clamped to the observed range ...
+    assert hist.min <= estimate <= hist.max
+    # ... and within one log2 bucket (factor of two) of the exact value.
+    assert estimate <= exact * 2.0 * (1 + 1e-9)
+    assert estimate >= exact / 2.0 * (1 - 1e-9)
+
+
+def test_timer_observes_elapsed_milliseconds():
+    telemetry, clock = make_telemetry()
+    with telemetry.time("step"):
+        clock.advance(0.032)
+    hist = telemetry.histograms["step"]
+    assert hist.count == 1
+    assert hist.sum == pytest.approx(32.0)
+
+
+def test_standalone_timer_context_manager():
+    hist = Histogram()
+    ticks = iter([1.0, 1.5])
+    with Timer(hist, clock=lambda: next(ticks)):
+        pass
+    assert hist.count == 1
+    assert hist.sum == pytest.approx(500.0)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_snapshot_shape_and_merge():
+    telemetry, clock = make_telemetry()
+    with telemetry.span("outer"):
+        clock.advance(0.2)
+        with telemetry.span("inner"):
+            clock.advance(0.1)
+    telemetry.count("requests", 3)
+    telemetry.gauge("fuel", 17.0)
+
+    registry = MetricsRegistry()
+    registry.merge_telemetry(telemetry)
+    snap = registry.snapshot()
+    assert snap["schema"] == MetricsRegistry.SCHEMA
+    assert snap["counters"]["requests"] == 3
+    assert snap["gauges"]["fuel"] == 17.0
+    # Span self-times arrive as gauges; span latencies as histograms.
+    assert snap["gauges"]["span.self_ms.outer"] == pytest.approx(200.0)
+    assert snap["gauges"]["span.self_ms.inner"] == pytest.approx(100.0)
+    assert snap["histograms"]["span.inner.ms"]["count"] == 1
+
+
+def test_registry_folds_multiple_runs():
+    registry = MetricsRegistry()
+    for _ in range(2):
+        telemetry, clock = make_telemetry()
+        with telemetry.span("phase"):
+            clock.advance(0.05)
+        telemetry.count("runs")
+        registry.merge_telemetry(telemetry)
+    snap = registry.snapshot()
+    assert snap["counters"]["runs"] == 2
+    assert snap["histograms"]["span.phase.ms"]["count"] == 2
+
+
+# -- exporters ---------------------------------------------------------------
+
+_PROM_HELP_OR_TYPE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+)
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? "
+    r"(NaN|[+-]?Inf|[-+]?[0-9.eE+-]+)$"
+)
+
+
+def _build_registry():
+    registry = MetricsRegistry()
+    registry.count("search.nodes", 25)
+    registry.gauge("fuel-left", 12.5)
+    for value in [0.4, 1.9, 3.0, 250.0]:
+        registry.observe("phase ms", value)
+    return registry
+
+
+def test_prometheus_text_matches_exposition_grammar():
+    text = prometheus_text(_build_registry())
+    assert text.endswith("\n")
+    for line in text.strip().splitlines():
+        assert _PROM_HELP_OR_TYPE.match(line) or _PROM_SAMPLE.match(line), line
+
+
+def test_prometheus_text_sanitizes_names_and_prefixes():
+    text = prometheus_text(_build_registry(), prefix="spt")
+    assert "spt_search_nodes_total 25" in text
+    assert "spt_fuel_left 12.5" in text
+    assert "spt_phase_ms_sum" in text
+
+
+def test_prometheus_histogram_buckets_are_cumulative_and_closed():
+    text = prometheus_text(_build_registry())
+    buckets = re.findall(
+        r'repro_phase_ms_bucket\{le="([^"]+)"\} (\d+)', text
+    )
+    counts = [int(count) for _, count in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1][0] == "+Inf"
+    assert counts[-1] == 4
+    assert "repro_phase_ms_count 4" in text
+
+
+def test_prometheus_accepts_telemetry_and_snapshot_inputs():
+    telemetry, clock = make_telemetry()
+    with telemetry.span("phase"):
+        clock.advance(0.01)
+    from_telemetry = prometheus_text(telemetry)
+    registry = MetricsRegistry()
+    registry.merge_telemetry(telemetry)
+    assert from_telemetry == prometheus_text(registry.snapshot())
+
+
+def test_metrics_json_is_canonical_and_round_trips():
+    registry = _build_registry()
+    first = metrics_json(registry)
+    second = metrics_json(registry)
+    assert first == second
+    assert first.endswith("\n")
+    document = json.loads(first)
+    assert document["schema"] == MetricsRegistry.SCHEMA
+    assert document["histograms"]["phase ms"]["count"] == 4
+    # A snapshot that crossed a wire boundary exports identically.
+    assert metrics_json(document) == first
+
+
+def test_null_telemetry_metric_paths_are_inert():
+    from repro.obs import NULL_TELEMETRY
+
+    NULL_TELEMETRY.observe("anything", 1.0)
+    with NULL_TELEMETRY.time("anything"):
+        pass
+    assert NULL_TELEMETRY.histograms == {}
