@@ -16,6 +16,11 @@ from repro.batch.cache import (
     default_cache_dir,
 )
 from repro.batch.driver import BatchResult, expand_inputs, run_batch
+from repro.batch.lifecycle import (
+    ClaimedWorker,
+    drain_queue,
+    start_heartbeat_thread,
+)
 from repro.batch.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
@@ -36,8 +41,11 @@ __all__ = [
     "CRASH_ENV_VAR",
     "CRASH_EXIT_CODE",
     "CacheStats",
+    "ClaimedWorker",
     "MANIFEST_SCHEMA",
     "ResultCache",
+    "drain_queue",
+    "start_heartbeat_thread",
     "build_manifest",
     "canonical_module_text",
     "compile_program_task",

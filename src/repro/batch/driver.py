@@ -23,6 +23,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.batch.cache import CacheStats, ResultCache, default_cache_dir
+from repro.batch.lifecycle import ClaimedWorker, drain_queue
 from repro.batch.manifest import build_manifest
 from repro.batch.progress import ProgressTracker
 from repro.batch.worker import worker_main
@@ -158,23 +159,6 @@ def _crashed_entry(task: Dict, exitcode: Optional[int], message: str) -> Dict:
             "message": message,
         },
     }
-
-
-class _WorkerHandle:
-    """One live worker process plus its shared claim slot."""
-
-    def __init__(self, ctx, worker_id, task_queue, result_queue, cache_dir,
-                 heartbeat_s=None, observe=False):
-        self.worker_id = worker_id
-        self.claim = ctx.Value("i", -1, lock=False)
-        self.process = ctx.Process(
-            target=worker_main,
-            args=(task_queue, result_queue, worker_id, cache_dir, self.claim,
-                  heartbeat_s, observe),
-            daemon=True,
-            name=f"repro-batch-worker-{worker_id}",
-        )
-        self.process.start()
 
 
 def run_batch(
@@ -316,14 +300,15 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
     cache_stats = CacheStats()
     tracker = ProgressTracker(len(tasks), jobs)
     pending = set(range(len(tasks)))
-    workers: Dict[int, _WorkerHandle] = {}
+    workers: Dict[int, ClaimedWorker] = {}
     next_worker_id = 0
 
     def spawn() -> None:
         nonlocal next_worker_id
-        workers[next_worker_id] = _WorkerHandle(
-            ctx, next_worker_id, task_queue, result_queue, cache_dir,
-            heartbeat_s=heartbeat_s, observe=observe,
+        workers[next_worker_id] = ClaimedWorker(
+            ctx, next_worker_id, worker_main, task_queue, result_queue,
+            cache_dir, extra_args=(heartbeat_s, observe),
+            name_prefix="repro-batch-worker",
         )
         next_worker_id += 1
 
@@ -388,9 +373,9 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
 
             # No result just now: check worker liveness.
             for worker_id, handle in list(workers.items()):
-                if handle.process.is_alive():
+                if handle.is_alive():
                     continue
-                if handle.process.exitcode == 0:
+                if handle.exitcode == 0:
                     # Clean exit: the worker drained its sentinel after
                     # the queue emptied.  Don't replace it.
                     del workers[worker_id]
@@ -398,15 +383,14 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
                     continue
                 # Drain anything the dead worker managed to send
                 # before attributing a crash.
-                while not result_queue.empty():
-                    late = result_queue.get()
+                for late in drain_queue(result_queue):
                     if late["kind"] == "done" and late["index"] in pending:
                         absorb_done(late)
-                claimed = handle.claim.value
+                claimed = handle.claimed
                 del workers[worker_id]
                 tracker.on_worker_dead(worker_id)
                 if claimed >= 0 and claimed in pending:
-                    exitcode = handle.process.exitcode
+                    exitcode = handle.exitcode
                     finish(
                         claimed,
                         _crashed_entry(
@@ -449,10 +433,7 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
                     )
     finally:
         for handle in workers.values():
-            handle.process.join(timeout=2.0)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=2.0)
+            handle.stop(grace_s=2.0)
         task_queue.cancel_join_thread()
         result_queue.close()
         publish(force=True)

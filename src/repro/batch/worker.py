@@ -34,12 +34,12 @@ import hashlib
 import json
 import os
 import signal
-import threading
 import traceback
 from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
 from repro.batch.cache import ResultCache
+from repro.batch.lifecycle import start_heartbeat_thread
 from repro.core.config import (
     SptConfig,
     anticipated_config,
@@ -315,37 +315,6 @@ def probe_cache(
     return probe
 
 
-def _start_heartbeat_thread(result_queue, worker_id, claim, heartbeat_s):
-    """A daemon thread that reports the claimed task index every
-    ``heartbeat_s`` seconds while one is in flight.
-
-    SimpleQueue.put writes the pipe synchronously under a lock, so the
-    heartbeat thread and the main loop can share the result queue.  The
-    thread reads the shared claim slot rather than any in-process
-    state, so a main thread wedged inside a compilation still
-    heartbeats -- that is the point: heartbeats mean "process alive",
-    and hung *programs* remain the per-program timeout's job."""
-    stop = threading.Event()
-
-    def beat():
-        while not stop.wait(heartbeat_s):
-            index = claim.value
-            if index < 0:
-                continue
-            try:
-                result_queue.put(
-                    {"kind": "heartbeat", "worker": worker_id, "index": index}
-                )
-            except Exception:  # noqa: BLE001 - queue torn down at exit
-                return
-
-    thread = threading.Thread(
-        target=beat, daemon=True, name=f"repro-batch-heartbeat-{worker_id}"
-    )
-    thread.start()
-    return stop
-
-
 def worker_main(
     task_queue,
     result_queue,
@@ -371,7 +340,7 @@ def worker_main(
     cache = ResultCache(cache_dir) if cache_dir else None
     stop_heartbeat = None
     if heartbeat_s:
-        stop_heartbeat = _start_heartbeat_thread(
+        stop_heartbeat = start_heartbeat_thread(
             result_queue, worker_id, claim, heartbeat_s
         )
     try:

@@ -432,6 +432,27 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_daemon
+
+    return run_daemon(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        queue_limit=args.queue_limit,
+        request_timeout_s=args.request_timeout,
+        program_timeout_s=args.program_timeout,
+        mem_cache_entries=args.mem_cache_entries,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        ready_file=args.ready_file,
+        request_log_path=args.request_log,
+        max_body_bytes=args.max_body_bytes,
+        heartbeat_s=args.heartbeat,
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.report import (
         figure14_text,
@@ -832,6 +853,78 @@ def build_parser() -> argparse.ArgumentParser:
              "watchers",
     )
     batch_p.set_defaults(fn=cmd_batch)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the warm-worker compilation daemon "
+             "(JSON-over-HTTP on localhost, or JSON-RPC on stdio)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=4,
+        help="pre-forked warm worker processes (default 4)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="HTTP bind address (default 127.0.0.1; keep it local)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8750,
+        help="HTTP port; 0 picks a free one (read it back from "
+             "--ready-file)",
+    )
+    serve_p.add_argument(
+        "--stdio", action="store_true",
+        help="speak JSON-RPC over stdin/stdout instead of HTTP",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max in-flight requests before 429 + Retry-After "
+             "(default 64)",
+    )
+    serve_p.add_argument(
+        "--request-timeout", type=float, default=60.0,
+        help="per-request deadline in seconds; a miss answers 504 "
+             "(default 60)",
+    )
+    serve_p.add_argument(
+        "--program-timeout", type=float, default=None,
+        help="per-compilation watchdog seconds inside the worker "
+             "(SIGALRM + one degraded-ladder retry, like repro batch)",
+    )
+    serve_p.add_argument(
+        "--mem-cache-entries", type=int, default=256,
+        help="in-memory LRU capacity in results; 0 disables the "
+             "memory tier (default 256)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed disk cache directory shared with "
+             "repro batch (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the disk cache tier (memory tier still applies)",
+    )
+    serve_p.add_argument(
+        "--ready-file", default=None,
+        help="write a JSON readiness document (pid, transport, actual "
+             "port) here once requests are accepted",
+    )
+    serve_p.add_argument(
+        "--request-log", default=None,
+        help="append one JSONL record per served request to this file",
+    )
+    serve_p.add_argument(
+        "--max-body-bytes", type=int, default=4 * 1024 * 1024,
+        help="reject request bodies larger than this with 413 "
+             "(default 4 MiB)",
+    )
+    serve_p.add_argument(
+        "--heartbeat", type=float, default=None,
+        help="worker heartbeat period in seconds (default: off; "
+             "liveness comes from the claim slots)",
+    )
+    serve_p.set_defaults(fn=cmd_serve)
 
     perf_p = sub.add_parser(
         "perf",

@@ -331,8 +331,8 @@ class MetricsRegistry:
     canonical ``snapshot()``.
 
     The registry is the aggregation point *above* individual telemetry
-    runs: a long-lived process (the future ``repro serve`` daemon)
-    keeps one registry and folds each request's telemetry into it;
+    runs: a long-lived process (the ``repro serve`` daemon) keeps one
+    registry and folds each request's telemetry into it;
     one-shot CLI commands build a throwaway registry just to export.
     The exporters in :mod:`repro.obs.sinks` (:func:`~repro.obs.sinks.
     prometheus_text`, :func:`~repro.obs.sinks.metrics_json`) consume

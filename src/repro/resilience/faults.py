@@ -9,7 +9,9 @@ individual firewalled phases.  The spec grammar is::
     mode        = "raise" | "hang" | "slow"
 
 ``phase`` names a containment scope ("profile", "depgraph", "search",
-"svp", "transform", "region_splits").  Modes:
+"svp", "transform", "region_splits"), or a request boundary outside
+the pipeline firewall ("serve.request", fired by the ``repro serve``
+daemon per admitted request).  Modes:
 
 ``raise``
     Raise :class:`FaultInjected` at phase entry.  ``arg`` bounds how

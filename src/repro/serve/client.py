@@ -1,0 +1,259 @@
+"""Client-side helpers for the serving daemon (stdlib only).
+
+* :class:`ServeClient` -- a thin HTTP client over one keep-alive
+  connection.  **Not** thread-safe by design: each client thread owns
+  its own instance (what the concurrency battery and the load
+  benchmark do), mirroring how real clients hold per-connection state.
+* :func:`start_daemon` -- spawn ``python -m repro serve`` as a
+  subprocess, wait for its ready file (which carries the actual port,
+  since tests bind port 0), and yield a :class:`DaemonHandle`; on exit
+  the daemon is shut down gracefully and its exit code recorded.
+  Every consumer of the daemon in-tree (differential tests, chaos
+  tests, the load benchmark, the CI smoke script) goes through this
+  one spawn path.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.serve.protocol import PROTOCOL_SCHEMA
+
+__all__ = ["DaemonHandle", "ServeClient", "ServeError", "start_daemon"]
+
+
+class ServeError(RuntimeError):
+    """A protocol-level error response (429, 504, ...)."""
+
+    def __init__(self, http_status: int, body: Dict):
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        super().__init__(
+            f"HTTP {http_status}: {error.get('code', 'unknown')}: "
+            f"{error.get('message', '')}"
+        )
+        self.http_status = http_status
+        self.body = body
+        self.code = error.get("code")
+        self.retry_after = error.get("retry_after")
+
+
+class ServeClient:
+    """One keep-alive HTTP connection to a daemon.  One per thread."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict] = None):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                return response.status, dict(response.getheaders()), \
+                    response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A dropped keep-alive connection (daemon restarted the
+                # listener, idle timeout): reconnect once, then give up.
+                self.close()
+                if attempt == 2:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _request_json(self, method: str, path: str,
+                      payload: Optional[Dict] = None) -> Dict:
+        status, _, raw = self._request(method, path, payload)
+        document = json.loads(raw.decode("utf-8"))
+        if status != 200:
+            raise ServeError(status, document)
+        return document
+
+    # -- endpoints --------------------------------------------------------
+
+    def compile(self, params: Dict) -> Dict:
+        """POST /compile; the full response (``entry`` + ``serve``)."""
+        return self._request_json("POST", "/compile", params)
+
+    def compile_raw(self, body: bytes, headers: Optional[Dict] = None):
+        """POST arbitrary bytes to /compile (malformed-input tests)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST", "/compile", body=body, headers=headers or {}
+            )
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def healthz(self) -> Dict:
+        return self._request_json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, _, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, {})
+        return raw.decode("utf-8")
+
+    def metrics(self) -> Dict:
+        status, _, raw = self._request("GET", "/metrics.json")
+        if status != 200:
+            raise ServeError(status, {})
+        return json.loads(raw.decode("utf-8"))
+
+    def shutdown(self) -> Dict:
+        return self._request_json("POST", "/shutdown", {})
+
+
+class DaemonHandle:
+    """A spawned daemon subprocess plus a default client."""
+
+    def __init__(self, process: subprocess.Popen, ready: Dict):
+        self.process = process
+        self.ready = ready
+        self.port: int = ready["port"]
+        self.client = ServeClient(self.port)
+        self.returncode: Optional[int] = None
+
+    def new_client(self, timeout: float = 120.0) -> ServeClient:
+        """A fresh connection (one per concurrent client thread)."""
+        return ServeClient(self.port, timeout=timeout)
+
+    def stop(self, timeout: float = 15.0) -> int:
+        """Graceful shutdown; returns (and records) the exit code."""
+        if self.returncode is not None:
+            return self.returncode
+        try:
+            self.client.shutdown()
+        except Exception:  # noqa: BLE001 - daemon may already be gone
+            pass
+        try:
+            self.returncode = self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.returncode = self.process.wait(timeout=5.0)
+        self.client.close()
+        return self.returncode
+
+
+def _serve_command(workers: int, extra_args) -> List[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        "--workers",
+        str(workers),
+        *[str(argument) for argument in extra_args],
+    ]
+
+
+def wait_for_ready(
+    ready_path: str, process: subprocess.Popen, timeout: float = 60.0
+) -> Dict:
+    """Poll for the daemon's ready file; raise with its output if the
+    process dies first."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(ready_path):
+            try:
+                with open(ready_path, "r", encoding="utf-8") as handle:
+                    ready = json.load(handle)
+                if ready.get("schema") == PROTOCOL_SCHEMA:
+                    return ready
+            except (OSError, ValueError):
+                pass  # mid-write; retry
+        if process.poll() is not None:
+            stdout, stderr = process.communicate(timeout=5.0)
+            raise RuntimeError(
+                "repro serve exited with code "
+                f"{process.returncode} before becoming ready\n"
+                f"stdout: {stdout.decode(errors='replace')}\n"
+                f"stderr: {stderr.decode(errors='replace')}"
+            )
+        time.sleep(0.02)
+    process.kill()
+    raise TimeoutError(
+        f"repro serve not ready within {timeout:g}s ({ready_path})"
+    )
+
+
+@contextmanager
+def start_daemon(
+    workers: int = 2,
+    cache_dir: Optional[str] = None,
+    extra_args=(),
+    env: Optional[Dict] = None,
+    startup_timeout: float = 60.0,
+):
+    """Spawn a daemon, wait until it serves, yield a DaemonHandle.
+
+    ``env`` entries overlay ``os.environ`` (fault-injection variables,
+    ``REPRO_CACHE_DIR``, ...).  On exit the daemon is stopped
+    gracefully; inspect ``handle.returncode`` afterwards."""
+    run_env = dict(os.environ)
+    if env:
+        run_env.update(env)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
+        ready_path = os.path.join(scratch, "ready.json")
+        command = _serve_command(workers, extra_args)
+        command += ["--ready-file", ready_path]
+        if cache_dir is not None:
+            command += ["--cache-dir", cache_dir]
+        process = subprocess.Popen(
+            command,
+            env=run_env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        handle = None
+        try:
+            ready = wait_for_ready(ready_path, process, startup_timeout)
+            handle = DaemonHandle(process, ready)
+            yield handle
+        finally:
+            if handle is not None:
+                handle.stop()
+            elif process.poll() is None:
+                process.kill()
+                process.wait(timeout=5.0)
+            # Reap the pipes so the interpreter does not warn.
+            try:
+                process.communicate(timeout=5.0)
+            except (ValueError, subprocess.TimeoutExpired):
+                pass

@@ -1,0 +1,158 @@
+"""Daemon assembly and lifecycle: what ``repro serve`` actually runs.
+
+Order of operations matters here:
+
+1. :func:`~repro.serve.pool.prime_process` first -- the parent imports
+   the whole pipeline and compiles a warm-up program *before* forking,
+   so every worker is born warm (Linux ``fork`` start method);
+2. fork the :class:`~repro.serve.pool.WarmPool` and wait for every
+   worker's ``ready`` message;
+3. assemble the :class:`~repro.serve.service.CompileService` (memory
+   LRU, admission limits, metrics registry, optional request log);
+4. bind the transport, then atomically write the ``--ready-file``
+   (carrying the actual port -- tests bind port 0) so a supervising
+   process knows exactly when requests will be accepted;
+5. serve until ``POST /shutdown`` / stdio ``shutdown`` / SIGTERM /
+   SIGINT, then drain: stop admissions, stop the listener, close the
+   pool.  A clean shutdown exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+from typing import Dict, Optional
+
+from repro.batch.cache import default_cache_dir
+from repro.obs.telemetry import MetricsRegistry
+from repro.serve.http import serve_http
+from repro.serve.memcache import MemoryCache
+from repro.serve.pool import WarmPool, prime_process
+from repro.serve.protocol import DEFAULT_MAX_BODY_BYTES, PROTOCOL_SCHEMA
+from repro.serve.service import CompileService, RequestLog
+from repro.serve.stdio import serve_stdio
+
+__all__ = ["run_daemon"]
+
+
+def _write_ready_file(path: str, payload: Dict) -> None:
+    """Atomic write: pollers never observe a torn ready file."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".ready-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def run_daemon(
+    workers: int = 4,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    stdio: bool = False,
+    queue_limit: int = 64,
+    request_timeout_s: float = 60.0,
+    program_timeout_s: Optional[float] = None,
+    mem_cache_entries: int = 256,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+    ready_file: Optional[str] = None,
+    request_log_path: Optional[str] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    heartbeat_s: Optional[float] = None,
+    log_stream=None,
+) -> int:
+    """Run the daemon to completion; the process exit code."""
+    log_stream = log_stream if log_stream is not None else sys.stderr
+
+    def log(message: str) -> None:
+        print(f"repro serve: {message}", file=log_stream, flush=True)
+
+    log(f"priming pipeline in pid {os.getpid()} ...")
+    prime_process()
+
+    disk_cache_dir = None if no_cache else (cache_dir or default_cache_dir())
+    pool = WarmPool(
+        workers=workers, cache_dir=disk_cache_dir, heartbeat_s=heartbeat_s
+    )
+    pool.start()
+    if not pool.wait_ready(timeout=60.0):
+        log("worker pool failed to become ready within 60s")
+        pool.close()
+        return 1
+    log(f"{workers} warm worker(s) ready")
+
+    memory_cache = (
+        MemoryCache(mem_cache_entries) if mem_cache_entries > 0 else None
+    )
+    service = CompileService(
+        pool,
+        queue_limit=queue_limit,
+        request_timeout_s=request_timeout_s,
+        program_timeout_s=program_timeout_s,
+        memory_cache=memory_cache,
+        metrics=MetricsRegistry(),
+        request_log=(
+            RequestLog(request_log_path) if request_log_path else None
+        ),
+    )
+
+    ready_payload: Dict = {
+        "schema": PROTOCOL_SCHEMA,
+        "pid": os.getpid(),
+        "workers": workers,
+        "cache_dir": disk_cache_dir,
+        "queue_limit": queue_limit,
+    }
+
+    try:
+        if stdio:
+            ready_payload["transport"] = "stdio"
+            if ready_file:
+                _write_ready_file(ready_file, ready_payload)
+            log("serving JSON-RPC on stdio (EOF or `shutdown` to stop)")
+            serve_stdio(service, max_body_bytes=max_body_bytes)
+            return 0
+
+        server = serve_http(
+            service, host=host, port=port, max_body_bytes=max_body_bytes
+        )
+
+        def _on_signal(signum, frame):
+            service.begin_shutdown()
+            # shutdown() joins serve_forever; it must not run on the
+            # thread executing the serve_forever loop itself.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        previous_handlers = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+
+        ready_payload["transport"] = "http"
+        ready_payload["host"] = host
+        ready_payload["port"] = server.port
+        if ready_file:
+            _write_ready_file(ready_file, ready_payload)
+        log(f"listening on http://{host}:{server.port}")
+        try:
+            server.serve_forever(poll_interval=0.05)
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+            server.server_close()
+        log("listener stopped, draining workers")
+        return 0
+    finally:
+        service.close()
+        log("shutdown complete")

@@ -1,0 +1,229 @@
+"""JSON-over-HTTP transport for the serving daemon (stdlib only).
+
+A :class:`ThreadingHTTPServer` bound to localhost; one handler thread
+per connection blocks inside :meth:`CompileService.compile` while the
+worker pool does the work, so concurrency is bounded by the service's
+admission control, not by the HTTP layer.
+
+Endpoints::
+
+    POST /compile       {"source": ..., "config": ..., ...} -> entry
+    POST /shutdown      begin graceful shutdown
+    GET  /healthz       daemon/pool/cache status
+    GET  /metrics       Prometheus text exposition (repro.obs.sinks)
+    GET  /metrics.json  the canonical JSON metrics document
+
+Protocol errors map to HTTP statuses via :func:`repro.serve.protocol.
+http_status_for`; ``queue_full`` additionally carries a ``Retry-After``
+header.  Malformed and oversized bodies are answered (400/413) without
+ever reaching the pool -- and an oversized body is never even read."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.obs.sinks import metrics_json, prometheus_text
+from repro.serve.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_OVERSIZED,
+    ERR_UNKNOWN_METHOD,
+    BadRequest,
+    ServeRejection,
+    error_body,
+    http_status_for,
+)
+from repro.serve.service import CompileService
+
+__all__ = ["ServeHTTPServer", "serve_http"]
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """The daemon's HTTP listener; holds the shared service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The admission queue, not the TCP accept backlog, is the
+    # backpressure mechanism: a thundering herd must reach the service
+    # and get its typed 429, not a kernel connection reset.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: CompileService,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        super().__init__(address, _ServeHandler)
+        self.service = service
+        self.max_body_bytes = max_body_bytes
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    sys_version = ""
+    # Responses go out as two sends (header block, then body); without
+    # TCP_NODELAY, Nagle against the client's delayed ACK turns every
+    # warm hit into a ~40 ms stall -- 40x the actual service time.
+    disable_nagle_algorithm = True
+
+    # The daemon's request log replaces access logging; stderr noise
+    # per request would swamp the terminal under load tests.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _send_json(
+        self, status: int, payload: Dict, headers: Optional[Dict] = None
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_body(
+        self, code: str, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = f"{max(retry_after, 0.0):.3f}"
+        self._send_json(
+            http_status_for(code),
+            error_body(code, message, retry_after=retry_after),
+            headers=headers,
+        )
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or None after an error was answered."""
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            self._send_error_body(
+                ERR_BAD_REQUEST, "missing or invalid Content-Length"
+            )
+            return None
+        if length < 0:
+            self._send_error_body(ERR_BAD_REQUEST, "negative Content-Length")
+            return None
+        if length > self.server.max_body_bytes:
+            # Reject without reading: an oversized body costs nothing.
+            self.close_connection = True
+            self._send_error_body(
+                ERR_OVERSIZED,
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit",
+            )
+            return None
+        return self.rfile.read(length)
+
+    # -- endpoints --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            service = self.server.service
+            if self.path == "/metrics":
+                self._send_text(
+                    200,
+                    prometheus_text(service.metrics_snapshot()),
+                    "text/plain; version=0.0.4",
+                )
+            elif self.path == "/metrics.json":
+                # metrics_json returns the canonical serialized document.
+                self._send_text(
+                    200,
+                    metrics_json(service.metrics_snapshot()),
+                    "application/json",
+                )
+            elif self.path == "/healthz":
+                self._send_json(200, service.stats())
+            else:
+                self._send_error_body(
+                    ERR_UNKNOWN_METHOD, f"no such endpoint: {self.path}"
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            self._try_send_internal(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            body = self._read_body()
+            if body is None:
+                return
+            if self.path == "/compile":
+                self._compile(body)
+            elif self.path == "/shutdown":
+                self.server.service.begin_shutdown()
+                self._send_json(200, {"ok": True, "status": "stopping"})
+                # shutdown() must come from another thread: it joins the
+                # serve_forever loop this handler is running under.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+            else:
+                self._send_error_body(
+                    ERR_UNKNOWN_METHOD, f"no such endpoint: {self.path}"
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            self._try_send_internal(exc)
+
+    def _compile(self, body: bytes) -> None:
+        try:
+            try:
+                params = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise BadRequest(f"body is not valid JSON: {exc}")
+            response = self.server.service.compile(params)
+        except BadRequest as exc:
+            self._send_error_body(ERR_BAD_REQUEST, str(exc))
+            return
+        except ServeRejection as exc:
+            self._send_error_body(
+                exc.code, str(exc), retry_after=exc.retry_after
+            )
+            return
+        self._send_json(200, response)
+
+    def _try_send_internal(self, exc: Exception) -> None:
+        try:
+            self._send_error_body(
+                ERR_INTERNAL, f"{exc.__class__.__name__}: {exc}"
+            )
+        except OSError:
+            pass
+
+
+def serve_http(
+    service: CompileService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> ServeHTTPServer:
+    """Bind (``port=0`` picks a free port) and return the server; the
+    caller runs ``serve_forever`` on its thread of choice."""
+    return ServeHTTPServer((host, port), service, max_body_bytes)

@@ -1,0 +1,94 @@
+"""The in-memory LRU tier in front of the content-addressed disk cache.
+
+Keyed by the *same* program key as :class:`repro.batch.cache.
+ResultCache` -- SHA-256 over canonical module IR x
+``SptConfig.fingerprint()`` x workload -- so the two tiers can never
+disagree about identity: a memory hit is exactly the payload a disk
+hit (or a cold compile) would have produced.
+
+Payloads are stored as their canonical JSON serialization and
+deserialized on every hit.  That costs a few hundred microseconds but
+buys two guarantees the differential battery leans on:
+
+* hits return *fresh* objects -- no caller can mutate a cached result
+  out from under a concurrent request;
+* hits are JSON-normalized by construction, byte-identical to what a
+  worker shipped over the result queue.
+
+Thread-safe: one lock around the OrderedDict; the serving daemon's
+HTTP handler threads all read through here.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+__all__ = ["MemoryCache"]
+
+
+class MemoryCache:
+    """A bounded, thread-safe LRU of serialized result payloads."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload stored under ``key`` (a fresh object), or None."""
+        with self._lock:
+            serialized = self._entries.get(key)
+            if serialized is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return json.loads(serialized)
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Store ``payload`` under ``key``, evicting the LRU tail."""
+        if self.capacity == 0:
+            return
+        serialized = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.bytes -= len(previous)
+            self._entries[key] = serialized
+            self.bytes += len(serialized)
+            while len(self._entries) > self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                self.bytes -= len(evicted)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            requests = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "bytes": self.bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / requests, 4) if requests else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryCache({len(self)}/{self.capacity} entries, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,439 @@
+"""The pre-forked, pre-warmed worker pool behind ``repro serve``.
+
+Worker lifecycle reuses the batch layer's claim-slot machinery
+(:mod:`repro.batch.lifecycle`): each worker process advertises the
+request id it is working on through a lock-free shared-memory slot, so
+a hard death (segfault, ``os._exit``) is always attributed to the
+right request.  The differences from the one-shot batch pool:
+
+* **Pre-warmed.**  :func:`prime_process` is called in the daemon
+  *before* forking: it imports the whole pipeline and compiles a tiny
+  warm-up program, so every forked worker starts with hot module state
+  and never pays import cost on a request.  Workers additionally
+  re-prime the config presets post-fork (cheap) and report ``ready``.
+* **Long-lived.**  Workers loop on the task queue indefinitely; one
+  process amortizes its fork cost over thousands of requests -- the
+  warm-path/cold-path discipline the cost model applies to fork/commit
+  overheads, applied to the compiler itself.
+* **Crash-isolated with retry.**  A request whose worker dies is
+  resubmitted once on a respawned worker; a second death resolves it
+  as a structured ``status: "crashed"`` entry (a contained
+  degradation, never a stranded client).
+
+Fault injection for the resilience battery:
+
+* ``$REPRO_SERVE_CRASH_ON=<substr>`` -- a worker hard-exits (code 13)
+  right after claiming any request whose path contains the substring,
+  every time.  The retry also crashes, so the client observes the
+  contained ``crashed`` entry.
+* ``$REPRO_SERVE_CRASH_TOKENS=<dir>:<N>`` -- bounds the crashes: each
+  crash first claims one token file (``O_CREAT|O_EXCL``) under
+  ``dir``; once ``N`` tokens are claimed the fault stops firing, so a
+  *retried* request succeeds and the test observes respawn + retry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.batch.cache import ResultCache
+from repro.batch.lifecycle import (
+    NO_CLAIM,
+    ClaimedWorker,
+    drain_queue,
+    start_heartbeat_thread,
+)
+from repro.batch.worker import CRASH_EXIT_CODE, compile_program_task
+
+__all__ = [
+    "SERVE_CRASH_ENV_VAR",
+    "SERVE_CRASH_TOKENS_ENV_VAR",
+    "WARMUP_SOURCE",
+    "PendingRequest",
+    "WarmPool",
+    "prime_process",
+    "serve_worker_main",
+]
+
+SERVE_CRASH_ENV_VAR = "REPRO_SERVE_CRASH_ON"
+SERVE_CRASH_TOKENS_ENV_VAR = "REPRO_SERVE_CRASH_TOKENS"
+
+#: The tiny MiniC program the daemon compiles before forking workers:
+#: touches the frontend, SSA construction, profiling, the cost model
+#: and the partition search, so forked children inherit every lazily
+#: imported module already hot.
+WARMUP_SOURCE = """\
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += (s ^ i) & 7;
+    }
+    return s;
+}
+"""
+
+
+def prime_process() -> None:
+    """Import the pipeline and compile the warm-up program once.
+
+    Called in the daemon process before the pool forks, and harmless
+    to call again (a few milliseconds once everything is hot)."""
+    from repro.core.config import (
+        anticipated_config,
+        basic_config,
+        best_config,
+    )
+    from repro.core.pipeline import Workload, compile_spt
+    from repro.frontend import compile_minic
+
+    for factory in (basic_config, best_config, anticipated_config):
+        factory()
+    module = compile_minic(WARMUP_SOURCE, name="warmup")
+    compile_spt(
+        module,
+        best_config(),
+        Workload(entry="main", args=(8,), fuel=100_000),
+    )
+
+
+def _maybe_crash(path: str) -> None:
+    """Honor the serve-layer crash-injection environment hooks."""
+    crash_on = os.environ.get(SERVE_CRASH_ENV_VAR)
+    if not crash_on or crash_on not in path:
+        return
+    tokens = os.environ.get(SERVE_CRASH_TOKENS_ENV_VAR)
+    if tokens:
+        directory, _, raw_limit = tokens.rpartition(":")
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            directory, limit = tokens, 1
+        claimed = False
+        for index in range(limit):
+            token = os.path.join(directory, f"crash-token-{index}")
+            try:
+                os.close(os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                claimed = True
+                break
+            except FileExistsError:
+                continue
+            except OSError:
+                return
+        if not claimed:
+            return
+    os._exit(CRASH_EXIT_CODE)
+
+
+def serve_worker_main(
+    task_queue,
+    result_queue,
+    worker_id: int,
+    cache_dir: Optional[str],
+    claim,
+    heartbeat_s: Optional[float] = None,
+) -> None:
+    """Body of one serving worker process.
+
+    Protocol mirrors the batch worker's, keyed by request id instead of
+    task index: ``ready`` once at startup, then ``start``/``done`` per
+    request.  Each request runs under a fresh
+    :class:`~repro.core.config.SptConfig` rebuilt from the task, so no
+    configuration state can leak between requests sharing a process."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    stop_heartbeat = None
+    if heartbeat_s:
+        stop_heartbeat = start_heartbeat_thread(
+            result_queue, worker_id, claim, heartbeat_s
+        )
+    result_queue.put(
+        {"kind": "ready", "worker": worker_id, "pid": os.getpid()}
+    )
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            rid = task["rid"]
+            claim.value = rid
+            result_queue.put(
+                {"kind": "start", "worker": worker_id, "rid": rid}
+            )
+            _maybe_crash(task["path"])
+            entry, stats = compile_program_task(task, cache)
+            result_queue.put(
+                {
+                    "kind": "done",
+                    "worker": worker_id,
+                    "rid": rid,
+                    "entry": entry,
+                    "stats": stats,
+                }
+            )
+            claim.value = NO_CLAIM
+    finally:
+        if stop_heartbeat is not None:
+            stop_heartbeat.set()
+
+
+class PendingRequest:
+    """One in-flight request: the task, its completion event, and the
+    result slots the dispatcher fills."""
+
+    __slots__ = (
+        "rid", "task", "event", "entry", "stats", "attempts", "shutdown",
+    )
+
+    def __init__(self, rid: int, task: Dict):
+        self.rid = rid
+        self.task = task
+        self.event = threading.Event()
+        self.entry: Optional[Dict] = None
+        self.stats: Optional[Dict] = None
+        #: Compile attempts consumed (1 = first dispatch).
+        self.attempts = 1
+        #: True when the pool shut down before the request resolved.
+        self.shutdown = False
+
+    def wait(self, timeout: Optional[float]) -> bool:
+        return self.event.wait(timeout)
+
+
+def _crashed_entry(task: Dict, exitcode: Optional[int], attempts: int) -> Dict:
+    return {
+        "path": task["path"],
+        "sha256": hashlib.sha256(task["source"].encode("utf-8")).hexdigest(),
+        "status": "crashed",
+        "error": {
+            "exitcode": exitcode if exitcode is not None else -1,
+            "message": (
+                f"worker process died (exit code {exitcode}) while "
+                f"compiling this request ({attempts} attempt(s))"
+            ),
+        },
+    }
+
+
+class WarmPool:
+    """The long-lived worker pool plus its dispatcher thread.
+
+    ``submit`` enqueues a task and returns a :class:`PendingRequest`
+    whose event fires when the dispatcher routes the matching ``done``
+    message (or gives up after ``max_attempts`` worker deaths).
+    ``abandon`` detaches a request whose client stopped waiting (missed
+    deadline); its late result is counted and discarded.
+    """
+
+    #: Dispatcher idle sleep and liveness-check cadence (seconds).
+    POLL_S = 0.002
+    LIVENESS_S = 0.05
+
+    def __init__(
+        self,
+        workers: int = 4,
+        cache_dir: Optional[str] = None,
+        heartbeat_s: Optional[float] = None,
+        max_attempts: int = 2,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.size = workers
+        self.cache_dir = cache_dir
+        self.heartbeat_s = heartbeat_s
+        self.max_attempts = max_attempts
+        self._ctx = multiprocessing.get_context()
+        self._task_queue = self._ctx.Queue()
+        # SimpleQueue for results: put() writes the pipe synchronously,
+        # so a worker dying right after put() cannot strand a finished
+        # result in an unflushed feeder buffer (see the batch driver).
+        self._result_queue = self._ctx.SimpleQueue()
+        self._workers: Dict[int, ClaimedWorker] = {}
+        self._pending: Dict[int, PendingRequest] = {}
+        self._lock = threading.Lock()
+        self._next_worker_id = 0
+        self._next_rid = 0
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+        self.ready = threading.Event()
+        self._ready_count = 0
+        self.crashes = 0
+        self.respawns = 0
+        self.retries = 0
+        self.discarded = 0
+        self.completed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        for _ in range(self.size):
+            self._spawn()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop,
+            daemon=True,
+            name="repro-serve-dispatcher",
+        )
+        self._thread.start()
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until every initial worker reported ``ready``."""
+        return self.ready.wait(timeout)
+
+    def close(self, grace_s: float = 2.0) -> None:
+        """Stop the dispatcher, drain workers, unblock any waiters."""
+        if self._stopping:
+            return
+        self._stopping = True
+        for _ in range(len(self._workers)):
+            self._task_queue.put(None)
+        if self._thread is not None:
+            self._thread.join(timeout=grace_s)
+        for handle in self._workers.values():
+            handle.stop(grace_s=grace_s)
+        self._workers.clear()
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for pending in leftovers:
+            pending.shutdown = True
+            pending.event.set()
+        self._task_queue.cancel_join_thread()
+        self._result_queue.close()
+
+    def _spawn(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        self._workers[worker_id] = ClaimedWorker(
+            self._ctx,
+            worker_id,
+            serve_worker_main,
+            self._task_queue,
+            self._result_queue,
+            self.cache_dir,
+            extra_args=(self.heartbeat_s,),
+            name_prefix="repro-serve-worker",
+        )
+
+    # -- request interface (handler threads) ------------------------------
+
+    def submit(self, task: Dict) -> PendingRequest:
+        if self._stopping:
+            raise RuntimeError("pool is shutting down")
+        with self._lock:
+            rid = self._next_rid
+            self._next_rid += 1
+            pending = PendingRequest(rid, dict(task, rid=rid))
+            self._pending[rid] = pending
+        self._task_queue.put(pending.task)
+        return pending
+
+    def abandon(self, rid: int) -> None:
+        """Detach a request whose client stopped waiting."""
+        with self._lock:
+            self._pending.pop(rid, None)
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- dispatcher --------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        last_liveness = 0.0
+        while not self._stopping:
+            progressed = False
+            if not self._result_queue.empty():
+                self._handle(self._result_queue.get())
+                progressed = True
+            now = time.monotonic()
+            if now - last_liveness >= self.LIVENESS_S:
+                last_liveness = now
+                self._check_liveness()
+            if not progressed:
+                time.sleep(self.POLL_S)
+
+    def _handle(self, message: Dict) -> None:
+        kind = message.get("kind")
+        if kind == "done":
+            with self._lock:
+                pending = self._pending.pop(message["rid"], None)
+            if pending is None:
+                # Client already gave up (deadline) or was retried and
+                # both attempts eventually answered: drop the orphan.
+                self.discarded += 1
+                return
+            pending.entry = message["entry"]
+            pending.stats = message["stats"]
+            self.completed += 1
+            pending.event.set()
+        elif kind == "ready":
+            self._ready_count += 1
+            if self._ready_count >= self.size:
+                self.ready.set()
+        # "start"/"heartbeat" carry liveness information the claim
+        # slots already provide; nothing to do.
+
+    def _check_liveness(self) -> None:
+        for worker_id, handle in list(self._workers.items()):
+            if handle.is_alive():
+                continue
+            # Absorb whatever the dead worker flushed before charging
+            # its claimed request (it may in fact have completed).
+            for late in drain_queue(self._result_queue):
+                self._handle(late)
+            claimed = handle.claimed
+            exitcode = handle.exitcode
+            del self._workers[worker_id]
+            if exitcode == 0:
+                # Clean sentinel exit: only happens during shutdown.
+                continue
+            self.crashes += 1
+            if not self._stopping:
+                self._spawn()
+                self.respawns += 1
+            with self._lock:
+                pending = (
+                    self._pending.get(claimed)
+                    if claimed != NO_CLAIM
+                    else None
+                )
+            if pending is None:
+                continue
+            if pending.attempts < self.max_attempts and not self._stopping:
+                pending.attempts += 1
+                self.retries += 1
+                self._task_queue.put(pending.task)
+                continue
+            with self._lock:
+                self._pending.pop(claimed, None)
+            pending.entry = _crashed_entry(
+                pending.task, exitcode, pending.attempts
+            )
+            pending.stats = None
+            pending.event.set()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict:
+        return {
+            "size": self.size,
+            "alive": sum(
+                1 for handle in self._workers.values() if handle.is_alive()
+            ),
+            "ready": self._ready_count,
+            "inflight": self.inflight(),
+            "completed": self.completed,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "discarded": self.discarded,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WarmPool({self.size} workers, "
+            f"inflight={self.inflight()}, crashes={self.crashes})"
+        )

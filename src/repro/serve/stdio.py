@@ -1,0 +1,161 @@
+"""stdio JSON-RPC transport for the serving daemon.
+
+One JSON envelope per line on stdin (``{"id": ..., "method": ...,
+"params": {...}}``), one per line on stdout (``{"id": ..., "result":
+...}`` or ``{"id": ..., "error": {"code": ..., "message": ...}}``).
+The same :class:`~repro.serve.service.CompileService` sits behind both
+this and the HTTP transport, so the two speak identical payloads.
+
+Requests are handled on their own threads (a slow compile must not
+block a ``healthz`` pipelined behind it); a write lock keeps response
+lines whole.  Responses therefore arrive in completion order -- clients
+correlate by ``id``, exactly as over HTTP connections.
+
+Methods: ``compile``, ``healthz``, ``metrics`` (the canonical JSON
+snapshot), ``ping``, ``shutdown``.  EOF on stdin is a clean shutdown.
+Malformed lines get an ``id: null`` error; oversized lines are
+rejected without being parsed."""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Dict, List, Optional
+
+from repro.obs.sinks import metrics_json
+from repro.serve.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_OVERSIZED,
+    ERR_UNKNOWN_METHOD,
+    PROTOCOL_SCHEMA,
+    BadRequest,
+    ServeRejection,
+)
+from repro.serve.service import CompileService
+
+__all__ = ["serve_stdio"]
+
+_METHODS = ("compile", "healthz", "metrics", "ping", "shutdown")
+
+
+class _StdioLoop:
+    def __init__(self, service: CompileService, stdin, stdout,
+                 max_body_bytes: int):
+        self.service = service
+        self.stdin = stdin
+        self.stdout = stdout
+        self.max_body_bytes = max_body_bytes
+        self.stop = threading.Event()
+        self._write_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+
+    def reply(self, rid, result: Optional[Dict] = None,
+              error: Optional[Dict] = None) -> None:
+        envelope: Dict = {"id": rid, "schema": PROTOCOL_SCHEMA}
+        if error is not None:
+            envelope["error"] = error
+        else:
+            envelope["result"] = result
+        data = (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
+        with self._write_lock:
+            try:
+                self.stdout.write(data)
+                self.stdout.flush()
+            except (BrokenPipeError, ValueError):
+                # Client went away mid-write: nothing left to answer.
+                self.stop.set()
+
+    def reply_error(self, rid, code: str, message: str,
+                    retry_after: Optional[float] = None) -> None:
+        error: Dict = {"code": code, "message": message}
+        if retry_after is not None:
+            error["retry_after"] = round(retry_after, 3)
+        self.reply(rid, error=error)
+
+    def handle_line(self, line: bytes) -> None:
+        rid = None
+        try:
+            try:
+                envelope = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise BadRequest(f"line is not valid JSON: {exc}")
+            if not isinstance(envelope, dict):
+                raise BadRequest("envelope must be a JSON object")
+            rid = envelope.get("id")
+            method = envelope.get("method")
+            if method == "compile":
+                result = self.service.compile(envelope.get("params"))
+            elif method == "healthz":
+                result = self.service.stats()
+            elif method == "metrics":
+                result = json.loads(
+                    metrics_json(self.service.metrics_snapshot())
+                )
+            elif method == "ping":
+                result = {"ok": True}
+            elif method == "shutdown":
+                self.service.begin_shutdown()
+                self.reply(rid, result={"ok": True, "status": "stopping"})
+                self.stop.set()
+                return
+            else:
+                self.reply_error(
+                    rid,
+                    ERR_UNKNOWN_METHOD,
+                    f"unknown method {method!r} (have: {', '.join(_METHODS)})",
+                )
+                return
+            self.reply(rid, result=result)
+        except BadRequest as exc:
+            self.reply_error(rid, ERR_BAD_REQUEST, str(exc))
+        except ServeRejection as exc:
+            self.reply_error(rid, exc.code, str(exc),
+                            retry_after=exc.retry_after)
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            self.reply_error(
+                rid, ERR_INTERNAL, f"{exc.__class__.__name__}: {exc}"
+            )
+
+    def run(self) -> None:
+        while not self.stop.is_set():
+            line = self.stdin.readline()
+            if not line:
+                break
+            if len(line) > self.max_body_bytes:
+                # Never parse (or even decode) an oversized line.
+                self.reply_error(
+                    None,
+                    ERR_OVERSIZED,
+                    f"request line of {len(line)} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte limit",
+                )
+                continue
+            if not line.strip():
+                continue
+            thread = threading.Thread(
+                target=self.handle_line, args=(line,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+            self._threads = [t for t in self._threads if t.is_alive()]
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+def serve_stdio(
+    service: CompileService,
+    stdin=None,
+    stdout=None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> None:
+    """Run the stdio loop until ``shutdown`` or EOF (blocking)."""
+    loop = _StdioLoop(
+        service,
+        stdin if stdin is not None else sys.stdin.buffer,
+        stdout if stdout is not None else sys.stdout.buffer,
+        max_body_bytes,
+    )
+    loop.run()

@@ -1,0 +1,209 @@
+"""Concurrency battery: many clients, one daemon, no interference.
+
+The properties under test:
+
+* 50+ concurrent clients with heterogeneous (program, config,
+  overrides) requests all get the *right* answer -- every response is
+  byte-identical to its group's single-threaded reference, so no
+  telemetry, configuration, or cache state leaks between requests that
+  interleave arbitrarily across shared worker processes;
+* results are deterministic regardless of which tier served them;
+* when the admission queue overflows, the surplus requests get clean,
+  typed ``queue_full`` rejects (HTTP 429 with a ``Retry-After`` hint)
+  -- never a hang -- and the daemon keeps serving afterwards.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.client import ServeError
+
+from .conftest import compile_params, corpus_sources
+
+pytestmark = pytest.mark.serve
+
+CLIENTS = 54
+
+
+def _request_groups():
+    """Heterogeneous request groups: corpus programs under different
+    configs/overrides, each group with a distinct expected result."""
+    sources = corpus_sources()
+    groups = []
+    for index, (name, source) in enumerate(sources):
+        groups.append(compile_params(name, source))
+        groups.append(compile_params(name, source, config="basic"))
+        if index % 2 == 0:
+            groups.append(
+                compile_params(
+                    name, source,
+                    config_overrides={"cost_fraction": 0.3},
+                )
+            )
+    return groups
+
+
+def _canonical(entry):
+    """The manifest-canonical serialization: volatile fields (which
+    tier served it, the cache key) are stripped exactly as
+    ``build_manifest`` strips them -- byte-identical *results* are the
+    invariant, not identical cache provenance."""
+    stable = {
+        key: value
+        for key, value in entry.items()
+        if key not in ("cached", "program_key", "traceback")
+    }
+    return json.dumps(stable, sort_keys=True)
+
+
+def test_concurrent_clients_no_cross_request_leakage(daemon_factory):
+    daemon = daemon_factory(workers=4, extra_args=["--queue-limit", "128"])
+    groups = _request_groups()
+
+    # Single-threaded references first (also warms both cache tiers,
+    # so the concurrent phase exercises memory hits *and* recomputes).
+    references = []
+    for params in groups:
+        response = daemon.client.compile(params)
+        references.append(_canonical(response["entry"]))
+
+    results = [None] * CLIENTS
+    failures = [None] * CLIENTS
+
+    def client_body(slot):
+        try:
+            client = daemon.new_client()
+            try:
+                params = groups[slot % len(groups)]
+                response = client.compile(params)
+                results[slot] = _canonical(response["entry"])
+            finally:
+                client.close()
+        except Exception as exc:  # noqa: BLE001 - report via failures
+            failures[slot] = exc
+
+    threads = [
+        threading.Thread(target=client_body, args=(slot,))
+        for slot in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180)
+        assert not thread.is_alive(), "a client hung"
+    assert all(failure is None for failure in failures), [
+        f for f in failures if f is not None
+    ]
+    for slot in range(CLIENTS):
+        expected = references[slot % len(groups)]
+        assert results[slot] == expected, (
+            f"client {slot} got a different entry than the "
+            f"single-threaded reference for its request group"
+        )
+
+    health = daemon.client.healthz()
+    assert health["pool"]["crashes"] == 0
+    assert health["inflight"] == 0
+    assert daemon.stop() == 0
+
+
+def test_interleaving_does_not_change_results(daemon_factory):
+    """Two concurrent bursts in opposite orders produce identical
+    per-group entries: scheduling cannot leak into results."""
+    daemon = daemon_factory(workers=3, extra_args=["--queue-limit", "64"])
+    groups = _request_groups()[:8]
+
+    def burst(order):
+        out = {}
+        lock = threading.Lock()
+
+        def one(index):
+            client = daemon.new_client()
+            try:
+                response = client.compile(groups[index])
+                with lock:
+                    out[index] = _canonical(response["entry"])
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=one, args=(index,)) for index in order
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+            assert not thread.is_alive()
+        return out
+
+    forward = burst(list(range(len(groups))))
+    backward = burst(list(reversed(range(len(groups)))))
+    assert forward == backward
+    assert daemon.stop() == 0
+
+
+def test_queue_overflow_rejects_cleanly(daemon_factory):
+    """With one worker and a tiny admission queue, a thundering herd
+    splits into served requests and typed 429s -- nothing hangs, and
+    the daemon serves normally afterwards."""
+    daemon = daemon_factory(
+        workers=1,
+        extra_args=["--queue-limit", "2"],
+    )
+    name, source = corpus_sources()[1]  # nested.c: the slowest program
+    herd = 24
+    outcomes = [None] * herd
+
+    barrier = threading.Barrier(herd)
+
+    def member(slot):
+        client = daemon.new_client()
+        try:
+            barrier.wait(timeout=60)
+            try:
+                # Unique path per slot defeats the memory tier without
+                # changing the program (path is not part of the key --
+                # but a distinct source comment is).
+                response = client.compile(
+                    compile_params(
+                        f"m{slot}.c", f"// herd {slot}\n" + source
+                    )
+                )
+                outcomes[slot] = ("ok", response["serve"]["tier"])
+            except ServeError as exc:
+                outcomes[slot] = ("rejected", exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=member, args=(slot,))
+        for slot in range(herd)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180)
+        assert not thread.is_alive(), "an overflow client hung"
+
+    served = [o for o in outcomes if o and o[0] == "ok"]
+    rejected = [o for o in outcomes if o and o[0] == "rejected"]
+    assert len(served) + len(rejected) == herd
+    assert served, "admission control must let some requests through"
+    assert rejected, (
+        "a 24-deep herd against queue-limit 2 must overflow admission"
+    )
+    for _, exc in rejected:
+        assert exc.http_status == 429
+        assert exc.code == "queue_full"
+        assert exc.retry_after is not None and exc.retry_after > 0
+
+    # The daemon is still healthy and serving.
+    response = daemon.client.compile(compile_params(name, source))
+    assert response["entry"]["status"] == "ok"
+    health = daemon.client.healthz()
+    assert health["inflight"] == 0
+    metrics = daemon.client.metrics()
+    assert metrics["counters"]["serve.rejected.queue_full"] == len(rejected)
+    assert daemon.stop() == 0

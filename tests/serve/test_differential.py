@@ -1,0 +1,157 @@
+"""Served-vs-CLI differential battery: the daemon's central invariant.
+
+A served ``compile`` must return the byte-identical manifest entry the
+CLI produces for the same (source, config, workload) -- across every
+serving tier.  One CLI reference manifest (a real ``python -m repro
+batch --manifest`` subprocess over the golden corpus) is diffed, byte
+for byte, against manifests assembled from:
+
+* a **cold** serve pass (fresh daemon, empty caches -- every request
+  computes);
+* a **warm memory** pass (same daemon again -- every request hits the
+  in-memory LRU);
+* a **warm disk** pass (a *new* daemon over the same cache directory
+  -- memory tier empty, every request hits the content-addressed disk
+  tier).
+
+Error entries are differentials too: a program that fails to parse
+must serve the same structured error entry the CLI emits.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from .conftest import (
+    CORPUS_DIR,
+    GOLDEN_ARGS,
+    GOLDEN_CONFIG,
+    compile_params,
+    corpus_sources,
+    daemon_env,
+    served_manifest_bytes,
+)
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def cli_manifest(tmp_path_factory):
+    """The reference manifest bytes from the actual CLI."""
+    scratch = tmp_path_factory.mktemp("cli-ref")
+    manifest_path = str(scratch / "manifest.json")
+    env = dict(os.environ)
+    env.update(daemon_env())
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "batch", CORPUS_DIR,
+            "--config", GOLDEN_CONFIG,
+            "--args", ",".join(str(a) for a in GOLDEN_ARGS),
+            "--jobs", "2",
+            "--cache-dir", str(scratch / "cache"),
+            "--manifest", manifest_path,
+            "--quiet",
+        ],
+        env=env,
+        capture_output=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr.decode()
+    with open(manifest_path, "rb") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def served_passes(tmp_path_factory):
+    """Cold, memory-hit, and disk-hit passes over the corpus.
+
+    Returns ``{pass_name: [response, ...]}`` plus the daemons' exit
+    codes; responses are full protocol documents (entry + serve
+    sideband)."""
+    from repro.serve.client import start_daemon
+
+    scratch = tmp_path_factory.mktemp("served")
+    cache_dir = str(scratch / "shared-cache")
+    requests = [
+        compile_params(name, source) for name, source in corpus_sources()
+    ]
+    passes = {}
+    with start_daemon(workers=2, cache_dir=cache_dir,
+                      env=daemon_env()) as first:
+        passes["cold"] = [first.client.compile(p) for p in requests]
+        passes["memory"] = [first.client.compile(p) for p in requests]
+    with start_daemon(workers=2, cache_dir=cache_dir,
+                      env=daemon_env()) as second:
+        passes["disk"] = [second.client.compile(p) for p in requests]
+    passes["exit_codes"] = (first.returncode, second.returncode)
+    return passes
+
+
+def _manifest_of(responses):
+    return served_manifest_bytes([r["entry"] for r in responses])
+
+
+def test_cold_pass_computes_and_matches_cli(served_passes, cli_manifest):
+    tiers = [r["serve"]["tier"] for r in served_passes["cold"]]
+    assert tiers == ["compute"] * len(tiers)
+    assert _manifest_of(served_passes["cold"]) == cli_manifest
+
+
+def test_memory_pass_hits_and_matches_cli(served_passes, cli_manifest):
+    tiers = [r["serve"]["tier"] for r in served_passes["memory"]]
+    assert tiers == ["memory"] * len(tiers)
+    assert _manifest_of(served_passes["memory"]) == cli_manifest
+
+
+def test_disk_pass_hits_and_matches_cli(served_passes, cli_manifest):
+    tiers = [r["serve"]["tier"] for r in served_passes["disk"]]
+    assert tiers == ["disk"] * len(tiers)
+    assert _manifest_of(served_passes["disk"]) == cli_manifest
+
+
+def test_daemons_shut_down_cleanly(served_passes):
+    assert served_passes["exit_codes"] == (0, 0)
+
+
+def test_all_responses_carry_schema_and_ok(served_passes):
+    for name in ("cold", "memory", "disk"):
+        for response in served_passes[name]:
+            assert response["schema"] == "repro-serve/1"
+            assert response["entry"]["status"] == "ok"
+
+
+def test_parse_error_entry_matches_cli(daemon_factory, tmp_path):
+    """A broken program serves the same structured error entry the CLI
+    batch path emits (modulo the manifest's volatile-field strip)."""
+    broken = "int main(int n) { this is not minic ;;; }\n"
+    program = tmp_path / "broken.c"
+    program.write_text(broken)
+
+    from repro.batch import ResultCache
+    from repro.batch.worker import compile_program_task
+
+    cli_entry, _ = compile_program_task(
+        {
+            "path": "broken.c",
+            "name": "broken",
+            "source": broken,
+            "config": GOLDEN_CONFIG,
+            "config_overrides": {},
+            "entry": "main",
+            "args": list(GOLDEN_ARGS),
+            "fuel": 50_000_000,
+        },
+        ResultCache(str(tmp_path / "cli-cache")),
+    )
+
+    daemon = daemon_factory(workers=1)
+    response = daemon.client.compile(compile_params("broken.c", broken))
+    served = served_manifest_bytes([response["entry"]])
+    reference = served_manifest_bytes([cli_entry])
+    assert served == reference
+    entry = json.loads(served)["programs"][0]
+    assert entry["status"] == "error"
+    assert "traceback" not in entry
