@@ -12,6 +12,13 @@ faults in the search, transform and profiling phases -- and asserts:
 
 Hang faults run with a phase deadline armed, so the watchdog -- not
 the injector's give-up cap -- is what breaks them.
+
+A second matrix targets the checkpoint IO sites (``checkpoint.save``,
+``checkpoint.restore``; raise, hang and torn modes): ``repro compile
+--checkpoint-phases`` and ``repro simulate --checkpoint-every`` must
+exit 0 under every fault, and the faulted simulate must print the same
+result line as a clean run -- a checkpoint that cannot be saved or
+read degrades to recompute/cold start, never to a wrong answer.
 """
 
 import json
@@ -34,17 +41,103 @@ MATRIX = [
 ]
 
 
-def run(cmd, fault):
+#: Checkpoint IO faults: every one must be contained (exit 0) and the
+#: simulated result must match the clean run.  Hangs at checkpoint
+#: sites have no phase watchdog, so the injector's give-up cap (kept
+#: short here) is what breaks them.
+CHECKPOINT_MATRIX = [
+    ("checkpoint.save:raise", "10"),
+    ("checkpoint.save:torn", "10"),
+    ("checkpoint.save:hang", "0.2"),
+    ("checkpoint.restore:raise", "10"),
+]
+
+
+def run(cmd, fault, hang_s="10", capture=False):
     env = dict(os.environ)
-    env["REPRO_FAULT"] = fault
+    if fault is not None:
+        env["REPRO_FAULT"] = fault
     # Backstop only: the armed phase deadline should break every hang
     # long before the injector gives up on its own.
-    env["REPRO_FAULT_HANG_S"] = "10"
-    proc = subprocess.run(cmd, env=env, timeout=600)
+    env["REPRO_FAULT_HANG_S"] = hang_s
+    proc = subprocess.run(
+        cmd, env=env, timeout=600, capture_output=capture, text=capture
+    )
     if proc.returncode != 0:
         sys.exit(
             f"FAIL [{fault}]: {' '.join(cmd)} exited {proc.returncode}"
         )
+    return proc.stdout if capture else None
+
+
+def result_line(stdout, label):
+    for line in stdout.splitlines():
+        if line.startswith("result"):
+            return line
+    sys.exit(f"FAIL [{label}]: simulate printed no result line")
+
+
+def checkpoint_chaos():
+    """Checkpoint IO faults: contained, and never a wrong answer."""
+    # nested.c selects SPT loops under the best config, so the
+    # simulate runs exercise real snapshot traffic.
+    program = os.path.join(CORPUS, "nested.c")
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = result_line(
+            run(
+                [
+                    sys.executable, "-m", "repro", "simulate", program,
+                    "--config", "best", "--args", "96",
+                ],
+                None, capture=True,
+            ),
+            "clean",
+        )
+        for fault, hang_s in CHECKPOINT_MATRIX:
+            ckpt = os.path.join(tmp, fault.replace(":", "-"))
+            compile_cmd = [
+                sys.executable, "-m", "repro", "compile", program,
+                "--config", "best", "--args", "96", "--checkpoint-phases",
+                "--checkpoint-dir", ckpt,
+            ]
+            run(compile_cmd, fault, hang_s=hang_s)  # cold: saves faulted
+            run(compile_cmd, fault, hang_s=hang_s)  # warm: restores faulted
+            sim = result_line(
+                run(
+                    [
+                        sys.executable, "-m", "repro", "simulate",
+                        program, "--config", "best", "--args", "96",
+                        "--checkpoint-every", "500",
+                        "--checkpoint-dir", ckpt,
+                    ],
+                    fault, hang_s=hang_s, capture=True,
+                ),
+                fault,
+            )
+            if sim != clean:
+                sys.exit(
+                    f"FAIL [{fault}]: faulted simulate result {sim!r} "
+                    f"!= clean {clean!r}"
+                )
+            resumed = result_line(
+                run(
+                    [
+                        sys.executable, "-m", "repro", "simulate",
+                        program, "--config", "best", "--args", "96",
+                        "--checkpoint-every", "500",
+                        "--resume-from", "latest",
+                        "--checkpoint-dir", ckpt,
+                    ],
+                    fault, hang_s=hang_s, capture=True,
+                ),
+                fault,
+            )
+            if resumed != clean:
+                sys.exit(
+                    f"FAIL [{fault}]: faulted resume result {resumed!r} "
+                    f"!= clean {clean!r}"
+                )
+            print(f"chaos OK [{fault}]: compile x2 + simulate + resume")
 
 
 def main():
@@ -94,7 +187,12 @@ def main():
         "search:raise",
     )
     print("chaos OK [search:raise]: repro compile exited 0")
-    print(f"chaos smoke passed: {len(MATRIX)} fault specs")
+
+    checkpoint_chaos()
+    print(
+        f"chaos smoke passed: {len(MATRIX) + len(CHECKPOINT_MATRIX)} "
+        f"fault specs"
+    )
 
 
 if __name__ == "__main__":

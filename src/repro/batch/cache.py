@@ -30,8 +30,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Dict, List, Optional
+
+from repro.util.atomicio import atomic_write_json
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -195,28 +196,17 @@ class ResultCache:
 
         Concurrent writers racing on the same key are harmless: both
         write identical content (the key is a digest of every input)
-        and ``os.replace`` is atomic."""
+        and the publish rename is atomic."""
         path = self._path_for(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         document = {
             "format": CACHE_FORMAT_VERSION,
             "kind": kind,
             "key": key,
             "payload": payload,
         }
-        fd, tmp_path = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
-            os.replace(tmp_path, path)
-        except OSError:
-            try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
-            raise
+        # fsync=False: a cache entry lost to a crash is recomputed on
+        # the next miss; durability is not worth a sync per write here.
+        atomic_write_json(path, document, fsync=False)
         self.stats.writes += 1
 
     # -- typed accessors ---------------------------------------------------

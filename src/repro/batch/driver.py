@@ -179,6 +179,8 @@ def run_batch(
     progress_path: Optional[str] = None,
     heartbeat_s: Optional[float] = None,
     status=None,
+    resume: bool = False,
+    journal_dir: Optional[str] = None,
 ) -> BatchResult:
     """Compile every program named by ``inputs`` and merge one manifest.
 
@@ -196,7 +198,14 @@ def run_batch(
     (default 0.5); ``status`` is an optional callable receiving the
     refreshed one-line status string, and ``progress_path`` names a
     ``progress.json`` document (schema ``repro-batch-progress/1``)
-    rewritten atomically as the batch advances."""
+    rewritten atomically as the batch advances.
+
+    ``resume=True`` makes the run crash-resumable: every finished entry
+    is durably journaled (:mod:`repro.batch.journal`, under
+    ``journal_dir``), and entries a previous -- possibly SIGKILLed --
+    run of the *same* batch already journaled are replayed instead of
+    recompiled.  The final manifest is byte-identical to an
+    uninterrupted run's."""
     telemetry = telemetry or NULL_TELEMETRY
     if stall_timeout is not None and stall_timeout <= 0:
         raise ValueError("stall_timeout must be positive when set")
@@ -222,6 +231,22 @@ def run_batch(
     config = config_from_task(tasks[0])
     if stall_timeout is None:
         stall_timeout = config.batch_stall_timeout_s
+
+    journal = None
+    resumed_entries: Dict[int, Dict] = {}
+    if resume:
+        from repro.batch.journal import BatchJournal, batch_key
+
+        journal = BatchJournal(
+            journal_dir,
+            batch_key(config.fingerprint(), entry, list(args), fuel, tasks),
+        )
+        resumed_entries = journal.load(tasks)
+        if telemetry.enabled:
+            telemetry.count("batch.resumed_entries", len(resumed_entries))
+            if journal.skipped:
+                telemetry.count("batch.journal_skipped", journal.skipped)
+
     started = time.perf_counter()
     with telemetry.span("batch", jobs=jobs, programs=len(tasks)):
         entries, cache_stats, tracker = _execute(
@@ -230,6 +255,8 @@ def run_batch(
             progress_path=progress_path,
             heartbeat_s=heartbeat_s,
             status=status,
+            journal=journal,
+            resumed_entries=resumed_entries,
         )
 
     evicted = 0
@@ -266,6 +293,7 @@ def run_batch(
             for e in entries
         ),
         "cached_programs": sum(1 for e in entries if e.get("cached")),
+        "resumed_programs": len(resumed_entries),
         "wall_seconds": round(wall, 4),
         "cache_dir": effective_cache_dir,
         "cache": cache_stats.to_dict(),
@@ -276,9 +304,20 @@ def run_batch(
 
 def _execute(tasks, jobs, cache_dir, telemetry, progress,
              stall_timeout=STALL_TIMEOUT, progress_path=None,
-             heartbeat_s=None, status=None):
+             heartbeat_s=None, status=None, journal=None,
+             resumed_entries=None):
     """Run the worker pool; returns (entries in task order, CacheStats,
     ProgressTracker)."""
+    entries: List[Optional[Dict]] = [None] * len(tasks)
+    pending = set(range(len(tasks)))
+
+    # Seed journal-replayed entries first: they are finished work, and
+    # the corresponding tasks are never queued.
+    for index, entry in sorted((resumed_entries or {}).items()):
+        entries[index] = entry
+        pending.discard(index)
+
+    jobs = max(1, min(jobs, len(pending))) if pending else 0
     ctx = multiprocessing.get_context()
     task_queue = ctx.Queue()
     # Results travel over a SimpleQueue on purpose: its put() writes to
@@ -286,8 +325,8 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
     # hard-dies right after put() cannot strand finished results in an
     # unflushed feeder-thread buffer (mp.Queue would).
     result_queue = ctx.SimpleQueue()
-    for task in tasks:
-        task_queue.put(task)
+    for index in sorted(pending):
+        task_queue.put(tasks[index])
     for _ in range(jobs):
         task_queue.put(None)
 
@@ -296,10 +335,12 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
         heartbeat_s = max(0.05, min(HEARTBEAT_S, stall_timeout / 4.0))
     observe = bool(telemetry.enabled)
 
-    entries: List[Optional[Dict]] = [None] * len(tasks)
     cache_stats = CacheStats()
     tracker = ProgressTracker(len(tasks), jobs)
-    pending = set(range(len(tasks)))
+    for index in sorted((resumed_entries or {})):
+        tracker.on_done(None, entries[index])
+        if progress is not None:
+            progress(entries[index])
     workers: Dict[int, ClaimedWorker] = {}
     next_worker_id = 0
 
@@ -333,6 +374,11 @@ def _execute(tasks, jobs, cache_dir, telemetry, progress,
     def finish(index: int, entry: Dict, worker: Optional[int] = None) -> None:
         entries[index] = entry
         pending.discard(index)
+        if journal is not None:
+            # Durable before visible: the journal line lands before the
+            # entry counts as done, so a SIGKILL can lose at most work
+            # that was never reported finished.
+            journal.record(index, tasks[index], entry)
         tracker.on_done(worker, entry)
         if progress is not None:
             progress(entry)

@@ -1,0 +1,156 @@
+"""Crash-resume journal for batch runs (``repro batch --resume``).
+
+The manifest is written once, at the end -- a driver SIGKILLed mid-run
+leaves nothing but ``progress.json`` counts behind.  The journal fixes
+that: as each program finishes, the driver durably appends its raw
+entry as one JSON line (``repro-batch-journal/1``), so the journal is
+an incrementally-materialized partial manifest.  A re-run with
+``--resume`` replays it, seeds the finished entries, and queues only
+the unfinished programs; the final manifest is byte-identical to an
+uninterrupted run's because entries carry everything the manifest
+keeps.
+
+The journal file is content-addressed by the *batch identity* -- config
+fingerprint, workload, and the exact (path, source sha256) list -- so a
+changed source file, config, or program set silently starts a fresh
+journal instead of resuming stale results.  Within the file, each line
+re-checks path + sha256 against the current task before it is trusted.
+Appends go through :func:`repro.util.atomicio.append_line` (one
+``O_APPEND`` write under an advisory lock): a crash can only ever
+truncate the *last* line, and unparsable lines are skipped on replay.
+
+Only deterministic outcomes resume (``status: "ok"`` and the
+compile-error statuses); run-shape-dependent failures (``crashed``,
+``timeout``, ``lost``) are re-queued for another attempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+__all__ = ["JOURNAL_SCHEMA", "BatchJournal", "batch_key", "default_journal_dir"]
+
+JOURNAL_SCHEMA = "repro-batch-journal/1"
+
+#: Statuses that are deterministic functions of (source, config) and
+#: may therefore be replayed from the journal.  Crash/timeout/lost
+#: entries depend on the run that produced them; resume retries those.
+RESUMABLE_STATUSES = ("ok", "error")
+
+
+def default_journal_dir() -> str:
+    from repro.checkpoint.store import default_checkpoint_dir
+
+    return os.path.join(default_checkpoint_dir(), "batches")
+
+
+def batch_key(
+    config_fingerprint: str, entry: str, args, fuel: int, tasks: List[Dict]
+) -> str:
+    """Content-addressed identity of one batch run."""
+    hasher = hashlib.sha256()
+    hasher.update(
+        "\x1f".join(
+            (JOURNAL_SCHEMA, config_fingerprint, entry, repr(tuple(args)),
+             str(fuel))
+        ).encode("utf-8")
+    )
+    for task in tasks:
+        digest = hashlib.sha256(task["source"].encode("utf-8")).hexdigest()
+        hasher.update(f"\x1f{task['path']}\x1f{digest}".encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class BatchJournal:
+    """Append-only per-batch journal of finished program entries."""
+
+    def __init__(self, directory: Optional[str], key: str):
+        self.directory = directory or default_journal_dir()
+        self.key = key
+        self.path = os.path.join(self.directory, "v1", f"{key}.journal")
+        #: Lines skipped on the last :meth:`load` because they were
+        #: unparsable (torn trailing append) or failed validation.
+        self.skipped = 0
+
+    def record(self, index: int, task: Dict, entry: Dict) -> None:
+        """Durably append one finished entry; failures are swallowed
+        (losing a journal line only costs recompute on resume)."""
+        from repro.util.atomicio import append_line
+
+        line = json.dumps(
+            {
+                "schema": JOURNAL_SCHEMA,
+                "index": index,
+                "path": task["path"],
+                "sha256": hashlib.sha256(
+                    task["source"].encode("utf-8")
+                ).hexdigest(),
+                "entry": entry,
+            },
+            sort_keys=True,
+        )
+        try:
+            append_line(self.path, line)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:  # noqa: BLE001 - journaling must not fail the batch
+            pass
+
+    def load(self, tasks: List[Dict]) -> Dict[int, Dict]:
+        """Replay the journal against the current task list.
+
+        Returns ``index -> entry`` for every journal line that names an
+        existing task (validated by index, path, and source sha256) and
+        carries a resumable status.  Later lines win; anything
+        unparsable or mismatched is counted in :attr:`skipped`."""
+        self.skipped = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return {}
+        digests = [
+            hashlib.sha256(task["source"].encode("utf-8")).hexdigest()
+            for task in tasks
+        ]
+        resumed: Dict[int, Dict] = {}
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("schema") != JOURNAL_SCHEMA:
+                    raise ValueError("foreign journal line")
+                index = record["index"]
+                entry = record["entry"]
+                if not (
+                    isinstance(index, int)
+                    and 0 <= index < len(tasks)
+                    and isinstance(entry, dict)
+                    and record.get("path") == tasks[index]["path"]
+                    and record.get("sha256") == digests[index]
+                    and entry.get("status") in RESUMABLE_STATUSES
+                ):
+                    raise ValueError("journal line does not match batch")
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:  # noqa: BLE001 - torn/stale line => recompute
+                self.skipped += 1
+                continue
+            resumed[index] = entry
+        return resumed
+
+    def discard(self) -> None:
+        """Remove the journal (called after the manifest is built: the
+        durable artifact now exists, the journal is scaffolding)."""
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"BatchJournal({self.path!r})"

@@ -19,10 +19,10 @@ that lost its workers (no heartbeats, no results) still does.
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from typing import Dict, List, Optional
+
+from repro.util.atomicio import atomic_write_json
 
 __all__ = ["PROGRESS_SCHEMA", "ProgressTracker", "validate_progress"]
 
@@ -157,11 +157,8 @@ class ProgressTracker:
 
     def write(self, path: str) -> None:
         """Atomically (re)write the ``progress.json`` document."""
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        # fsync=False: progress is advisory and rewritten every tick.
+        atomic_write_json(path, self.snapshot(), indent=2, fsync=False)
 
 
 def validate_progress(document: Dict) -> List[str]:

@@ -166,12 +166,28 @@ def cmd_dump_ir(args: argparse.Namespace) -> int:
     return 0
 
 
+def _phase_checkpoints_from_args(args: argparse.Namespace, telemetry):
+    """Build the PhaseCheckpointStore for --checkpoint-phases, or None."""
+    if not getattr(args, "checkpoint_phases", False):
+        return None
+    from repro.checkpoint.phases import PhaseCheckpointStore
+
+    directory = getattr(args, "checkpoint_dir", None)
+    if directory is not None:
+        directory = os.path.join(directory, "phases")
+    return PhaseCheckpointStore(directory, telemetry=telemetry)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     module = load_module(args.source)
     config = _config_from_args(args)
     workload = Workload(entry=args.entry, args=tuple(_parse_args_list(args.args)))
     telemetry = _telemetry_from_args(args)
-    result = compile_spt(module, config, workload, telemetry=telemetry)
+    phase_checkpoints = _phase_checkpoints_from_args(args, telemetry)
+    result = compile_spt(
+        module, config, workload, telemetry=telemetry,
+        phase_checkpoints=phase_checkpoints,
+    )
 
     print(f"configuration: {args.config}")
     print(f"loop candidates: {len(result.candidates)}")
@@ -195,6 +211,12 @@ def cmd_compile(args: argparse.Namespace) -> int:
     print(f"selected SPT loops: {[i.header for i in result.spt_loops]}")
     if result.svp_infos:
         print(f"value predictions: {result.svp_infos}")
+    if phase_checkpoints is not None:
+        stats = phase_checkpoints.stats
+        print(
+            f"phase checkpoints: saves={stats.saves} "
+            f"restores={stats.restores} corrupt={stats.corrupt}"
+        )
     if args.emit_ir:
         print()
         print(format_module(module), end="")
@@ -210,17 +232,40 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     train = _parse_args_list(args.train_args or args.args)
     workload = Workload(entry=args.entry, args=tuple(train))
     telemetry = _telemetry_from_args(args)
-    result = compile_spt(module, config, workload, telemetry=telemetry)
+    phase_checkpoints = _phase_checkpoints_from_args(args, telemetry)
+    result = compile_spt(
+        module, config, workload, telemetry=telemetry,
+        phase_checkpoints=phase_checkpoints,
+    )
     if not result.spt_loops:
         print("no SPT loops selected; nothing to simulate")
         _finish_telemetry(telemetry, args)
         return 1
 
-    outcome = simulate_program(
-        module, result, entry=args.entry,
-        args=_parse_args_list(args.args), fuel=args.fuel,
-        telemetry=telemetry,
-    )
+    checkpoint_every = getattr(args, "checkpoint_every", 0) or 0
+    resume_from = getattr(args, "resume_from", None)
+    if checkpoint_every or resume_from is not None:
+        from repro.checkpoint import run_checkpointed_simulation
+
+        outcome, report = run_checkpointed_simulation(
+            module, result, config, entry=args.entry,
+            args=tuple(_parse_args_list(args.args)), fuel=args.fuel,
+            checkpoint_every=checkpoint_every, resume_from=resume_from,
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
+            telemetry=telemetry,
+        )
+        if report.resumed_from is not None:
+            print(f"resumed from snapshot at {report.resumed_from} "
+                  f"executed instructions")
+        if checkpoint_every:
+            print(f"snapshots saved: {len(report.saved_at)} "
+                  f"(key {report.key[:12]}..., dir {report.directory})")
+    else:
+        outcome = simulate_program(
+            module, result, entry=args.entry,
+            args=_parse_args_list(args.args), fuel=args.fuel,
+            telemetry=telemetry,
+        )
     print(f"result: {outcome.result}")
     print(f"single-core cycles: {outcome.seq_cycles:.0f}"
           f"  (IPC {outcome.ipc:.3f})")
@@ -388,6 +433,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             program_timeout=args.program_timeout,
             progress_path=args.progress_json,
             status=status,
+            resume=args.resume,
+            journal_dir=args.journal_dir,
         )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
@@ -404,6 +451,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f" ({stats['errors']} errors, {stats['crashed']} crashed,"
         f" {stats['timeouts']} timeouts)"
         f" in {stats['wall_seconds']:.2f}s with {stats['jobs']} jobs"
+        + (
+            f", {stats['resumed_programs']} resumed from journal"
+            if stats.get("resumed_programs")
+            else ""
+        )
     )
     if stats["degradations"] or stats["degraded_programs"]:
         print(
@@ -544,6 +596,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if args.corpus_dir:
             path = save_reproducer(args.corpus_dir, failure)
             print(f"  reproducer written to {path}")
+            if failure.snapshot is not None:
+                print(
+                    f"  snapshot anchor at {failure.snapshot['executed']} "
+                    f"executed instructions written alongside"
+                )
         else:
             print("  minimized program:")
             for line in failure.reproducer.source().splitlines():
@@ -748,10 +805,24 @@ def build_parser() -> argparse.ArgumentParser:
                  "(per-hook tracer event counts)",
         )
 
+    def add_checkpoint_options(p):
+        p.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="snapshot store root (default: $REPRO_CHECKPOINT_DIR, "
+                 "else <cache-dir>/checkpoints)",
+        )
+        p.add_argument(
+            "--checkpoint-phases", action="store_true",
+            help="durably checkpoint completed compile phases (the "
+                 "partition search per loop) so a crashed or killed "
+                 "compile resumes past them on re-run",
+        )
+
     compile_p = sub.add_parser("compile", help="two-pass SPT compilation")
     add_source(compile_p)
     add_config_options(compile_p)
     add_obs_options(compile_p)
+    add_checkpoint_options(compile_p)
     compile_p.add_argument(
         "--emit-ir", action="store_true", help="print the transformed IR"
     )
@@ -761,8 +832,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_source(sim_p)
     add_config_options(sim_p)
     add_obs_options(sim_p)
+    add_checkpoint_options(sim_p)
     sim_p.add_argument("--train-args", default=None,
                        help="profiling args (defaults to --args)")
+    sim_p.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="durably snapshot the whole simulation every N executed "
+             "instructions (at the next block boundary); 0 disables",
+    )
+    sim_p.add_argument(
+        "--resume-from", default=None, metavar="WHEN",
+        help="resume the simulation from a stored snapshot: 'latest' "
+             "or an executed-instruction index upper bound",
+    )
     sim_p.set_defaults(fn=cmd_simulate)
 
     explain_p = sub.add_parser(
@@ -851,6 +933,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="continuously (re)write a machine-readable progress "
              "document (schema repro-batch-progress/1) for external "
              "watchers",
+    )
+    batch_p.add_argument(
+        "--resume", action="store_true",
+        help="journal every finished program durably and replay a "
+             "previous (crashed or killed) run of this exact batch, "
+             "re-queueing only unfinished programs",
+    )
+    batch_p.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="where --resume journals live (default: "
+             "<checkpoint-dir>/batches)",
     )
     batch_p.set_defaults(fn=cmd_batch)
 

@@ -352,6 +352,125 @@ class SptTraceCollector(Tracer):
         record.store_old = old_value
         record.store_new = value
 
+    # -- checkpointing ------------------------------------------------
+
+    @staticmethod
+    def _encode_op(op: OpRecord, key_of) -> List:
+        return [
+            key_of(id(op.instr)),
+            op.ticks,
+            list(op.uses),
+            op.def_name,
+            op.def_old,
+            op.def_new,
+            op.load_addr,
+            op.load_value,
+            op.store_addr,
+            op.store_old,
+            op.store_new,
+            sorted(op.mem_reads) if op.mem_reads is not None else None,
+            (
+                sorted(
+                    [addr, old, new]
+                    for addr, (old, new) in op.mem_writes.items()
+                )
+                if op.mem_writes is not None
+                else None
+            ),
+            op.pre_fork,
+            op.header_op,
+        ]
+
+    @staticmethod
+    def _decode_op(fields: List, instr_of) -> OpRecord:
+        op = OpRecord(instr_of(fields[0]))
+        (
+            op.ticks,
+            uses,
+            op.def_name,
+            op.def_old,
+            op.def_new,
+            op.load_addr,
+            op.load_value,
+            op.store_addr,
+            op.store_old,
+            op.store_new,
+            mem_reads,
+            mem_writes,
+            op.pre_fork,
+            op.header_op,
+        ) = fields[1:]
+        op.uses = list(uses)
+        op.mem_reads = set(mem_reads) if mem_reads is not None else None
+        op.mem_writes = (
+            {addr: (old, new) for addr, old, new in mem_writes}
+            if mem_writes is not None
+            else None
+        )
+        return op
+
+    def snapshot_state(self, key_of) -> Dict:
+        """Plain-data snapshot at an entry-frame block boundary.
+
+        At such a boundary no call is in flight (calls complete within
+        their block), so the call-aggregation stack must be empty; the
+        in-progress iteration (``_current``), the finished invocation
+        traces, and the collector's private timing model are all
+        captured.  ``_pending_op`` is transient (only consulted while
+        its instruction's events are still being delivered) and
+        restores as None."""
+        if self._call_stack or self._depth_in_target:
+            raise ValueError(
+                "SptTraceCollector snapshot outside a block boundary "
+                "(call in flight)"
+            )
+        encode = self._encode_op
+        return {
+            "invocations": [
+                [[encode(op, key_of) for op in trace.ops] for trace in traces]
+                for traces in self.invocations
+            ],
+            "current": (
+                [encode(op, key_of) for op in self._current.ops]
+                if self._current is not None
+                else None
+            ),
+            "in_pre_fork": self._in_pre_fork,
+            "reg_values": dict(self._reg_values),
+            "prev_label": self._prev_label,
+            "entered_body": self._entered_body,
+            "frame_is_target": list(self._frame_is_target),
+            "model": self.model.snapshot_state(key_of),
+        }
+
+    def restore_state(self, state: Dict, instr_of, id_of) -> None:
+        """Inverse of :meth:`snapshot_state`.  ``instr_of`` maps an
+        instruction key to the live instruction; ``id_of`` to its id."""
+
+        def decode_trace(ops: List) -> IterationTrace:
+            trace = IterationTrace()
+            trace.ops = [self._decode_op(fields, instr_of) for fields in ops]
+            return trace
+
+        self.invocations = [
+            [decode_trace(ops) for ops in traces]
+            for traces in state["invocations"]
+        ]
+        self._current = (
+            decode_trace(state["current"])
+            if state["current"] is not None
+            else None
+        )
+        self._in_pre_fork = bool(state["in_pre_fork"])
+        self._reg_values = dict(state["reg_values"])
+        self._prev_label = state["prev_label"]
+        self._entered_body = bool(state["entered_body"])
+        self._frame_is_target = [bool(f) for f in state["frame_is_target"]]
+        self._depth_in_target = 0
+        self._call_stack = []
+        self._pending_op = None
+        self.model.restore_state(state["model"], id_of)
+
 
 class SptLoopStats:
     """Simulated SPT statistics of one loop.

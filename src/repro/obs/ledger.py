@@ -35,6 +35,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.util.atomicio import append_line
+
 __all__ = [
     "LEDGER_FILENAME",
     "LEDGER_SCHEMA",
@@ -46,12 +48,6 @@ __all__ = [
 LEDGER_SCHEMA = "repro-ledger/1"
 LEDGER_FILENAME = "runs.jsonl"
 DEFAULT_LEDGER_DIR = os.path.join(".repro", "ledger")
-
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
-
 
 def host_token() -> str:
     """A stable identity for "the machine these wall-times came from".
@@ -151,8 +147,9 @@ class Ledger:
         """Atomically append one record; returns its ``run_id``.
 
         The whole line is written by a single ``write`` on an
-        ``O_APPEND`` descriptor under an exclusive ``flock``, so
-        concurrent appenders never interleave partial lines.
+        ``O_APPEND`` descriptor under an exclusive ``flock``
+        (:func:`repro.util.atomicio.append_line`), so concurrent
+        appenders never interleave partial lines.
         """
         if "run_id" not in record:
             raise ValueError("ledger records need a run_id (use make_record)")
@@ -160,19 +157,7 @@ class Ledger:
             raise ValueError(
                 f"record schema {record.get('schema')!r} != {LEDGER_SCHEMA!r}"
             )
-        self.directory.mkdir(parents=True, exist_ok=True)
-        line = (json.dumps(record, sort_keys=True) + "\n").encode()
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
-        try:
-            if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_EX)
-            os.write(fd, line)
-        finally:
-            if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_UN)
-            os.close(fd)
+        append_line(str(self.path), json.dumps(record, sort_keys=True))
         return record["run_id"]
 
     # -- reading -------------------------------------------------------

@@ -54,23 +54,16 @@ class SimOutcome:
         return self.seq_cycles / self.spt_cycles if self.spt_cycles else 1.0
 
 
-def simulate_program(
-    module,
-    compile_result,
-    *,
-    entry: str = "main",
-    args: Sequence[int] = (),
-    fuel: int = 50_000_000,
-    telemetry=None,
-) -> SimOutcome:
-    """Run the SPT machine model over ``compile_result``'s selected
-    loops and aggregate program-level cycles.
+def build_simulation(module, compile_result, *, fuel: int, telemetry=None):
+    """Assemble the (machine, timing tracer, SPT collectors) triple one
+    simulation runs on.
 
-    ``module`` must be the (already transformed) module that
-    ``compile_spt`` returned ``compile_result`` for.
-    """
+    Deterministic: the same ``(module, compile_result)`` always builds
+    the same collector sequence, which is what lets a checkpoint
+    restored in a fresh process (:mod:`repro.checkpoint`) line up its
+    per-collector state positionally."""
     from repro.analysis.loops import LoopNest
-    from repro.machine.spt_sim import SptTraceCollector, simulate_spt_loop
+    from repro.machine.spt_sim import SptTraceCollector
     from repro.machine.timing import TimingModel, TimingTracer
     from repro.profiling import Machine
 
@@ -95,7 +88,14 @@ def simulate_program(
     machine.add_tracer(tracer)
     for collector in collectors:
         machine.add_tracer(collector)
-    result_value = machine.run(entry, list(args))
+    return machine, tracer, collectors
+
+
+def finalize_simulation(
+    result_value, tracer, collectors, telemetry=None
+) -> SimOutcome:
+    """Recombine the collected traces into the program-level outcome."""
+    from repro.machine.spt_sim import simulate_spt_loop
 
     loops: List[LoopSim] = []
     total_delta = 0.0
@@ -119,6 +119,30 @@ def simulate_program(
         ipc=tracer.ipc,
         spt_cycles=tracer.cycles + total_delta,
         loops=loops,
+    )
+
+
+def simulate_program(
+    module,
+    compile_result,
+    *,
+    entry: str = "main",
+    args: Sequence[int] = (),
+    fuel: int = 50_000_000,
+    telemetry=None,
+) -> SimOutcome:
+    """Run the SPT machine model over ``compile_result``'s selected
+    loops and aggregate program-level cycles.
+
+    ``module`` must be the (already transformed) module that
+    ``compile_spt`` returned ``compile_result`` for.
+    """
+    machine, tracer, collectors = build_simulation(
+        module, compile_result, fuel=fuel, telemetry=telemetry
+    )
+    result_value = machine.run(entry, list(args))
+    return finalize_simulation(
+        result_value, tracer, collectors, telemetry=telemetry
     )
 
 

@@ -6,12 +6,14 @@ individual firewalled phases.  The spec grammar is::
 
     REPRO_FAULT = spec[,spec...]
     spec        = phase ":" mode [":" arg]
-    mode        = "raise" | "hang" | "slow"
+    mode        = "raise" | "hang" | "slow" | "torn"
 
 ``phase`` names a containment scope ("profile", "depgraph", "search",
-"svp", "transform", "region_splits"), or a request boundary outside
+"svp", "transform", "region_splits"), a request boundary outside
 the pipeline firewall ("serve.request", fired by the ``repro serve``
-daemon per admitted request).  Modes:
+daemon per admitted request), or a checkpoint IO site
+("checkpoint.save" / "checkpoint.restore", fired by the snapshot
+store around each write/read).  Modes:
 
 ``raise``
     Raise :class:`FaultInjected` at phase entry.  ``arg`` bounds how
@@ -30,6 +32,13 @@ daemon per admitted request).  Modes:
 ``slow``
     Sleep ``arg`` seconds (default 0.05) at phase entry, for deadline
     and anytime-search tests.
+``torn``
+    Not raised at phase entry at all: write sites that support it
+    (the checkpoint store, via :mod:`repro.util.atomicio`) ask
+    :func:`consume_torn_fault` whether to publish a deliberately
+    truncated document instead of the real one.  ``arg`` bounds the
+    fire count like ``raise`` (default: fire once -- a forever-torn
+    writer would starve any retry loop).
 
 Injection sites call :func:`maybe_inject` with their phase name; the
 disabled path is one environment lookup.
@@ -47,6 +56,7 @@ __all__ = [
     "FAULT_ENV_VAR",
     "FaultInjected",
     "HANG_ENV_VAR",
+    "consume_torn_fault",
     "maybe_inject",
     "parse_fault_specs",
     "reset_fault_state",
@@ -55,7 +65,7 @@ __all__ = [
 FAULT_ENV_VAR = "REPRO_FAULT"
 HANG_ENV_VAR = "REPRO_FAULT_HANG_S"
 
-_MODES = ("raise", "hang", "slow")
+_MODES = ("raise", "hang", "slow", "torn")
 
 
 class FaultInjected(RuntimeError):
@@ -148,3 +158,32 @@ def maybe_inject(phase: str) -> None:
                     pass
             _fired[spec] = _fired.get(spec, 0) + 1
             time.sleep(delay)
+        # "torn" is never fired here: write sites pull it explicitly
+        # through consume_torn_fault.
+
+
+def consume_torn_fault(site: str) -> bool:
+    """Whether a ``<site>:torn`` spec wants the next write truncated.
+
+    Fires at most ``arg`` times per process (default once), so a
+    store's cold-start retry after detecting the corrupt file is not
+    itself torn again."""
+    raw = os.environ.get(FAULT_ENV_VAR)
+    if not raw:
+        return False
+    for spec in parse_fault_specs(raw):
+        spec_phase, mode, arg = spec
+        if spec_phase != site or mode != "torn":
+            continue
+        limit = 1
+        if arg is not None:
+            try:
+                limit = int(arg)
+            except ValueError:
+                limit = 1
+        count = _fired.get(spec, 0)
+        if count >= limit:
+            continue
+        _fired[spec] = count + 1
+        return True
+    return False

@@ -19,11 +19,9 @@ Order of operations matters here:
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import sys
-import tempfile
 import threading
 from typing import Dict, Optional
 
@@ -35,25 +33,14 @@ from repro.serve.pool import WarmPool, prime_process
 from repro.serve.protocol import DEFAULT_MAX_BODY_BYTES, PROTOCOL_SCHEMA
 from repro.serve.service import CompileService, RequestLog
 from repro.serve.stdio import serve_stdio
+from repro.util.atomicio import atomic_write_json
 
 __all__ = ["run_daemon"]
 
 
 def _write_ready_file(path: str, payload: Dict) -> None:
     """Atomic write: pollers never observe a torn ready file."""
-    directory = os.path.dirname(os.path.abspath(path)) or "."
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".ready-")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(tmp_path, path)
-    except OSError:
-        try:
-            os.remove(tmp_path)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(path, payload, fsync=False)
 
 
 def run_daemon(

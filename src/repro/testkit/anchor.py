@@ -1,0 +1,160 @@
+"""Snapshot anchors: the checkpoint nearest a fuzz failure.
+
+When a campaign finds a failure, the runner re-executes the minimized
+reproducer under the reference interpreter with the checkpoint hook
+armed and keeps the **last** snapshot taken before the program ends --
+the machine state nearest the failing behaviour.  The corpus writes it
+as a ``<name>.snapshot.json`` sidecar next to the ``.c`` reproducer
+(schema ``repro-fuzz-snapshot/1``), and replay then *starts from the
+snapshot*: the recorded state is restored into a fresh machine, resumed
+to completion, and cross-checked against a cold run before the original
+oracle re-runs.  A reproducer therefore keeps re-proving two things at
+once -- that its bug stays fixed, and that snapshot/resume over its
+exact execution stays bitwise exact.
+
+Anchors are advisory by design.  A sidecar that no longer applies
+(edited source, schema bump, corrupt JSON) raises
+:class:`~repro.checkpoint.state.CheckpointError`, which replay treats
+as "skip the anchor, run cold" -- never as a corpus failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Optional
+
+from repro.checkpoint.state import CheckpointError
+from repro.frontend import compile_minic
+from repro.profiling.interp import Machine
+
+__all__ = [
+    "ANCHOR_EVERY",
+    "SNAPSHOT_SCHEMA",
+    "anchor_workload",
+    "capture_anchor",
+    "replay_anchor",
+]
+
+SNAPSHOT_FORMAT_VERSION = 1
+SNAPSHOT_SCHEMA = f"repro-fuzz-snapshot/{SNAPSHOT_FORMAT_VERSION}"
+
+#: Snapshot cadence (in executed instructions) for anchor capture.
+ANCHOR_EVERY = 64
+
+#: Fuel mirror of :data:`repro.testkit.oracles.FUEL` (not imported to
+#: keep this module free of the oracle battery's heavy imports).
+FUEL = 4_000_000
+
+
+def anchor_workload(rng: random.Random) -> int:
+    """The workload argument an anchor is captured under: the *last*
+    value of the oracle's workload draw, re-derived from the same RNG
+    coordinates the failing oracle used."""
+    from .oracles import _workload_args
+
+    return _workload_args(rng)[-1]
+
+
+def _json_round_trip(value):
+    import json
+
+    return json.loads(json.dumps(value))
+
+
+def capture_anchor(
+    source: str, n: int, checkpoint_every: int = ANCHOR_EVERY
+) -> Optional[Dict]:
+    """Run ``main(n)`` under the reference interpreter, checkpointing
+    every ``checkpoint_every`` instructions, and return the snapshot
+    nearest the end of the run as a self-describing document.
+
+    Returns None when the program finishes before the first boundary
+    (nothing to anchor).  The document embeds the expected final result
+    and instruction count so replay can verify resume exactness."""
+    module = compile_minic(source)
+    machine = Machine(module, fuel=FUEL)
+    snapshots: List[Dict] = []
+    last_saved = [-checkpoint_every]
+
+    def hook(m, frame):
+        if m.executed - last_saved[0] < checkpoint_every:
+            return
+        last_saved[0] = m.executed
+        # Round-trip through JSON immediately: the sidecar stores JSON,
+        # and the anchor must already behave like what replay will read.
+        snapshots.append(_json_round_trip(m.snapshot_state(frame)))
+
+    machine.checkpoint_hook = hook
+    result = machine.run("main", [n])
+    if not snapshots:
+        return None
+    state = snapshots[-1]
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "format": SNAPSHOT_FORMAT_VERSION,
+        "source_sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        "n": n,
+        "checkpoint_every": checkpoint_every,
+        "executed": state["executed"],
+        "expect": {
+            "result": _json_round_trip(result),
+            "executed_total": machine.executed,
+        },
+        "state": state,
+    }
+
+
+def replay_anchor(source: str, anchor: Dict) -> Optional[str]:
+    """Resume ``source`` from an anchor document and cross-check the
+    completed run against a cold one.
+
+    Returns None when the resumed run is bitwise identical (result,
+    final memory, instruction count) and a failure-detail string on
+    divergence.  Raises :class:`CheckpointError` when the anchor does
+    not *apply* -- wrong schema, or state that no longer matches the
+    module -- which callers treat as "run cold", not as a failure."""
+    if (
+        not isinstance(anchor, dict)
+        or anchor.get("schema") != SNAPSHOT_SCHEMA
+        or not isinstance(anchor.get("state"), dict)
+    ):
+        raise CheckpointError("not a repro-fuzz-snapshot/1 document")
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    if anchor.get("source_sha256") not in (None, digest):
+        raise CheckpointError(
+            "snapshot was captured over different source (edited "
+            "reproducer?)"
+        )
+    n = anchor["n"]
+
+    cold_machine = Machine(compile_minic(source), fuel=FUEL)
+    cold_result = cold_machine.run("main", [n])
+
+    resumed_machine = Machine(compile_minic(source), fuel=FUEL)
+    try:
+        frame = resumed_machine.restore_state(anchor["state"])
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:  # noqa: BLE001 - stale anchor => does not apply
+        raise CheckpointError(f"snapshot does not apply: {exc}") from exc
+    resumed_result = resumed_machine.resume_frame(frame)
+
+    at = anchor.get("executed")
+    if resumed_result != cold_result:
+        return (
+            f"n={n}: resume from snapshot at {at} returned "
+            f"{resumed_result!r}, cold run returned {cold_result!r}"
+        )
+    if resumed_machine.executed != cold_machine.executed:
+        return (
+            f"n={n}: resume from snapshot at {at} executed "
+            f"{resumed_machine.executed} instructions, cold run "
+            f"{cold_machine.executed}"
+        )
+    if resumed_machine.memory != cold_machine.memory:
+        return (
+            f"n={n}: resume from snapshot at {at} leaves a different "
+            f"final memory image"
+        )
+    return None

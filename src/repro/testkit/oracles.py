@@ -3,7 +3,7 @@
 Each oracle takes one generated program plus a private RNG (used only
 for workload arguments and edit sequences, so a re-run with the same
 RNG state replays exactly) and returns ``None`` on success or a short
-failure-detail string.  The four oracles cross-check every pair of
+failure-detail string.  The five oracles cross-check every pair of
 implementations the framework keeps:
 
 ``interp``
@@ -25,16 +25,29 @@ implementations the framework keeps:
     be semantically identical under the reference interpreter), plus the
     misspeculation replay of :mod:`repro.machine.spt_sim` against an
     independent reimplementation of the rollback rule.
+``checkpoint``
+    Uninterrupted vs snapshot-and-resumed simulation: the full SPT
+    machine model (interpreter + timing tracer + trace collectors) is
+    snapshotted at every Nth entry-frame boundary, each snapshot is
+    restored into freshly built components, and every resumed run must
+    reproduce the uninterrupted outcome **bitwise** -- result, memory,
+    fuel, cycles, and per-loop statistics.
 """
 
 from __future__ import annotations
 
+import json
 import random
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.cfg import CFG
 from repro.analysis.depgraph import build_dep_graph
 from repro.analysis.loops import LoopNest
+from repro.checkpoint.state import (
+    InstrIndex,
+    restore_simulation,
+    snapshot_simulation,
+)
 from repro.core.config import SptConfig
 from repro.core.costgraph import build_cost_graph
 from repro.core.costmodel import (
@@ -64,6 +77,7 @@ from repro.machine.spt_sim import (
     simulate_spt_loop,
 )
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.perf.runner import build_simulation, finalize_simulation
 from repro.profiling.compiled import CompiledMachine
 from repro.profiling.interp import Machine, Tracer
 from repro.ssa.construct import build_ssa
@@ -514,11 +528,136 @@ def _check_spt_equivalence(
     return None
 
 
+# -- oracle 5: uninterrupted vs snapshot-and-resumed simulation -------------
+
+#: Upper bound on resume points checked per workload; snapshots beyond
+#: it are thinned deterministically (every k-th) so pathological long
+#: runs cannot stall the campaign.
+MAX_RESUME_POINTS = 12
+
+
+def _outcome_fields(outcome) -> Tuple:
+    """A :class:`~repro.perf.runner.SimOutcome` as a comparable tuple
+    (bitwise: no tolerance, floats must match exactly)."""
+    return (
+        outcome.result,
+        outcome.seq_cycles,
+        outcome.ipc,
+        outcome.spt_cycles,
+        tuple(
+            (
+                loop.func_name,
+                loop.header,
+                loop.speedup,
+                loop.misspeculation_ratio,
+                loop.iterations,
+                loop.seq_cycles,
+                loop.spt_cycles,
+            )
+            for loop in outcome.loops
+        ),
+    )
+
+
+def oracle_checkpoint(spec, rng: random.Random) -> Optional[str]:
+    """Snapshot/resume exactness over the full SPT machine model.
+
+    Runs the compiled pipeline's simulation once with the checkpoint
+    hook armed (cadence drawn from the oracle RNG), then resumes from
+    every captured snapshot in freshly built components.  Each resumed
+    run -- and every snapshot, which is JSON round-tripped exactly as
+    the on-disk store would -- must reproduce the uninterrupted
+    outcome bitwise."""
+    source = _source_of(spec)
+    train, n = _workload_args(rng)
+    every = rng.randint(32, 256)
+
+    module = compile_minic(source)
+    compiled = compile_spt(module, _eager_config(), Workload(args=(train,)))
+    index = InstrIndex(module)
+
+    machine, tracer, collectors = build_simulation(module, compiled, fuel=FUEL)
+    snapshots: List[Tuple[int, Dict]] = []
+    hook_errors: List[str] = []
+    last_saved = [-every]
+
+    def hook(m, frame):
+        if m.executed - last_saved[0] < every:
+            return
+        last_saved[0] = m.executed
+        try:
+            state = snapshot_simulation(m, frame, tracer, collectors, index)
+            snapshots.append((m.executed, json.loads(json.dumps(state))))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - a snapshot contract break IS the failure
+            hook_errors.append(f"at {m.executed}: {exc}")
+
+    machine.checkpoint_hook = hook
+    result = machine.run("main", [n])
+    machine.checkpoint_hook = None
+    if hook_errors:
+        return (
+            f"n={n}: snapshot failed at an entry-frame boundary "
+            f"({hook_errors[0]})"
+        )
+    reference = (
+        _outcome_fields(finalize_simulation(result, tracer, collectors)),
+        machine.memory,
+        machine.executed,
+    )
+
+    if len(snapshots) > MAX_RESUME_POINTS:
+        step = -(-len(snapshots) // MAX_RESUME_POINTS)
+        snapshots = snapshots[::step]
+    for executed, state in snapshots:
+        re_machine, re_tracer, re_collectors = build_simulation(
+            module, compiled, fuel=FUEL
+        )
+        try:
+            frame = restore_simulation(
+                re_machine, state, re_tracer, re_collectors, index
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - own snapshot must restore
+            return (
+                f"n={n}: snapshot taken at {executed} failed to "
+                f"restore: {exc}"
+            )
+        resumed_result = re_machine.resume_frame(frame)
+        resumed = (
+            _outcome_fields(
+                finalize_simulation(resumed_result, re_tracer, re_collectors)
+            ),
+            re_machine.memory,
+            re_machine.executed,
+        )
+        if resumed != reference:
+            what = "outcome"
+            if resumed[2] != reference[2]:
+                what = (
+                    f"executed {resumed[2]} != {reference[2]} instructions"
+                )
+            elif resumed[1] != reference[1]:
+                what = "final memory image"
+            elif resumed[0] != reference[0]:
+                what = (
+                    f"simulated outcome {resumed[0]!r} != {reference[0]!r}"
+                )
+            return (
+                f"n={n}: resume from snapshot at {executed} diverges "
+                f"from the uninterrupted run ({what})"
+            )
+    return None
+
+
 ORACLES = {
     "interp": oracle_interp,
     "cost": oracle_cost,
     "partition": oracle_partition,
     "spt": oracle_spt,
+    "checkpoint": oracle_checkpoint,
 }
 
 ORACLE_NAMES = tuple(sorted(ORACLES))

@@ -1,0 +1,5 @@
+"""Cross-cutting utilities shared by every subsystem."""
+
+from repro.util.atomicio import append_line, atomic_write_bytes, atomic_write_json
+
+__all__ = ["append_line", "atomic_write_bytes", "atomic_write_json"]

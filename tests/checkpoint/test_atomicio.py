@@ -1,0 +1,88 @@
+"""The shared durable-IO primitives (``repro.util.atomicio``)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.resilience.faults import reset_fault_state
+from repro.util.atomicio import (
+    append_line,
+    atomic_write_bytes,
+    atomic_write_json,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT", raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+def test_atomic_write_creates_parents_and_replaces(tmp_path):
+    path = tmp_path / "a" / "b" / "data.bin"
+    atomic_write_bytes(str(path), b"one")
+    assert path.read_bytes() == b"one"
+    atomic_write_bytes(str(path), b"two")
+    assert path.read_bytes() == b"two"
+    # No temp litter left behind.
+    assert [p.name for p in path.parent.iterdir()] == ["data.bin"]
+
+
+def test_atomic_write_json_sorted_and_newline_terminated(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_json(str(path), {"b": 1, "a": 2}, indent=2)
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')
+    assert json.loads(text) == {"b": 1, "a": 2}
+
+
+def test_append_line_appends_whole_lines(tmp_path):
+    path = tmp_path / "log.jsonl"
+    append_line(str(path), "one")
+    append_line(str(path), "two\n")  # trailing newline normalized
+    assert path.read_text() == "one\ntwo\n"
+
+
+def test_append_line_interleaves_whole_records_under_threads(tmp_path):
+    path = tmp_path / "log.jsonl"
+    lines = [f"record-{i:03d}" for i in range(200)]
+
+    def work(chunk):
+        for line in chunk:
+            append_line(str(path), line)
+
+    threads = [
+        threading.Thread(target=work, args=(lines[i::4],)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    written = path.read_text().splitlines()
+    assert sorted(written) == sorted(lines)  # no torn or lost records
+
+
+def test_torn_fault_truncates_once_then_writes_cleanly(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_FAULT", "checkpoint.save:torn")
+    path = tmp_path / "doc.json"
+    document = {"key": "x" * 200}
+    atomic_write_json(str(path), document, fault_site="checkpoint.save")
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(path.read_text())  # deliberately torn
+    # The default fire budget is one: the retry publishes intact.
+    atomic_write_json(str(path), document, fault_site="checkpoint.save")
+    assert json.loads(path.read_text()) == document
+
+
+def test_torn_fault_ignores_other_sites(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT", "checkpoint.save:torn")
+    path = tmp_path / "doc.json"
+    atomic_write_json(str(path), {"a": 1}, fault_site="other.site")
+    assert json.loads(path.read_text()) == {"a": 1}

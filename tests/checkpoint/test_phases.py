@@ -1,0 +1,119 @@
+"""Compile-phase checkpoints: a restored partition search must be
+indistinguishable from a fresh one, and the resilience ladder must
+reuse work across rungs."""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint.phases import PhaseCheckpointStore
+from repro.core.config import best_config
+from repro.core.pipeline import Workload, compile_spt
+from repro.frontend import compile_minic
+from repro.obs.telemetry import Telemetry
+from repro.resilience.faults import reset_fault_state
+
+SOURCE = """
+global int data[512];
+global int out[512];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 511];
+        int a = x * 3 + i;
+        int b = (a << 2) ^ x;
+        out[i & 511] = b & 1023;
+        s += b & 31;
+    }
+    return s;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT", raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+def _loop_records(result):
+    return json.dumps(result.loop_records(), sort_keys=True)
+
+
+def test_restored_search_is_byte_identical_to_fresh(tmp_path):
+    reference = compile_spt(
+        compile_minic(SOURCE), best_config(), Workload(args=(48,))
+    )
+
+    store = PhaseCheckpointStore(str(tmp_path))
+    saved = compile_spt(
+        compile_minic(SOURCE), best_config(), Workload(args=(48,)),
+        phase_checkpoints=store,
+    )
+    assert store.stats.saves > 0 and store.stats.restores == 0
+
+    restored = compile_spt(
+        compile_minic(SOURCE), best_config(), Workload(args=(48,)),
+        phase_checkpoints=store,
+    )
+    assert store.stats.restores == store.stats.saves
+    assert (
+        _loop_records(reference)
+        == _loop_records(saved)
+        == _loop_records(restored)
+    )
+
+
+def test_corrupt_phase_checkpoint_misses_and_recovers(tmp_path):
+    store = PhaseCheckpointStore(str(tmp_path))
+    compile_spt(
+        compile_minic(SOURCE), best_config(), Workload(args=(48,)),
+        phase_checkpoints=store,
+    )
+    # Corrupt every stored document.
+    version_dir = os.path.join(store.directory, "v1")
+    corrupted = 0
+    for root, _dirs, files in os.walk(version_dir):
+        for name in files:
+            with open(os.path.join(root, name), "w") as handle:
+                handle.write("{not json")
+            corrupted += 1
+    assert corrupted > 0
+
+    fresh = PhaseCheckpointStore(str(tmp_path))
+    result = compile_spt(
+        compile_minic(SOURCE), best_config(), Workload(args=(48,)),
+        phase_checkpoints=fresh,
+    )
+    assert fresh.stats.corrupt == corrupted  # every load degraded to a miss
+    assert result.spt_loops  # ...and the compile just searched again
+
+
+def test_save_fault_never_fails_the_compile(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT", "checkpoint.save:raise")
+    store = PhaseCheckpointStore(str(tmp_path))
+    result = compile_spt(
+        compile_minic(SOURCE), best_config(), Workload(args=(48,)),
+        phase_checkpoints=store,
+    )
+    assert result.spt_loops
+    assert store.stats.saves == 0 and store.stats.save_failures > 0
+
+
+def test_ladder_reuses_depgraph_across_rungs(monkeypatch):
+    """A search fault on the full rung must not rebuild the dependence
+    graph on the retry rung."""
+    monkeypatch.setenv("REPRO_FAULT", "search:raise:1")
+    reset_fault_state()
+    telemetry = Telemetry()
+    result = compile_spt(
+        compile_minic(SOURCE), best_config(), Workload(args=(48,)),
+        telemetry=telemetry,
+    )
+    telemetry.close()
+    assert result.spt_loops  # recovered on a later rung
+    assert telemetry.counters.get("resilience.ladder.graph_reused", 0) > 0

@@ -1,0 +1,175 @@
+"""Snapshot anchors and the ``checkpoint`` oracle."""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint.state import CheckpointError
+from repro.testkit import (
+    capture_anchor,
+    derive_rng,
+    generate_program,
+    random_gen_config,
+    replay_anchor,
+    run_campaign,
+)
+from repro.testkit.anchor import SNAPSHOT_SCHEMA, anchor_workload
+from repro.testkit.corpus import load_corpus, replay_entry, save_reproducer
+from repro.testkit.oracles import run_oracle
+
+SOURCE = """
+global int data[64];
+
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = data[i & 63] + i * 3;
+        data[i & 63] = x & 255;
+        s += x & 7;
+    }
+    return s;
+}
+"""
+
+
+def _spec(seed):
+    rng = derive_rng("anchor-test", seed)
+    return generate_program(rng, random_gen_config(rng))
+
+
+def test_capture_then_replay_passes():
+    anchor = capture_anchor(SOURCE, 60)
+    assert anchor is not None
+    assert anchor["schema"] == SNAPSHOT_SCHEMA
+    assert anchor["executed"] >= 0
+    assert replay_anchor(SOURCE, anchor) is None
+
+
+def test_trivial_program_anchors_at_entry():
+    """Even a straight-line program anchors at the entry boundary."""
+    anchor = capture_anchor("int main(int n) { return n; }", 3)
+    assert anchor is not None and anchor["executed"] == 0
+    assert replay_anchor("int main(int n) { return n; }", anchor) is None
+
+
+def test_replay_rejects_foreign_documents():
+    with pytest.raises(CheckpointError):
+        replay_anchor(SOURCE, {"schema": "something-else/1"})
+    with pytest.raises(CheckpointError):
+        replay_anchor(SOURCE, {"schema": SNAPSHOT_SCHEMA, "state": None})
+
+
+def test_replay_rejects_edited_source():
+    anchor = capture_anchor(SOURCE, 60)
+    edited = SOURCE.replace("i * 3", "i * 5")
+    with pytest.raises(CheckpointError):
+        replay_anchor(edited, anchor)
+
+
+def test_replay_detects_resume_divergence(monkeypatch):
+    """A restore that silently skews state must be reported, not
+    absorbed."""
+    from repro.profiling.interp import Machine
+
+    anchor = capture_anchor(SOURCE, 60)
+    original = Machine.restore_state
+
+    def skewed(self, state):
+        frame = original(self, state)
+        self.executed += 1
+        return frame
+
+    monkeypatch.setattr(Machine, "restore_state", skewed)
+    detail = replay_anchor(SOURCE, anchor)
+    assert detail is not None and "executed" in detail
+
+
+def test_checkpoint_oracle_passes_on_generated_programs():
+    for seed in range(3):
+        spec = _spec(seed)
+        assert (
+            run_oracle(
+                "checkpoint", spec,
+                derive_rng("anchor-test", seed, "checkpoint"),
+            )
+            is None
+        )
+
+
+def test_checkpoint_oracle_catches_skewed_restore(monkeypatch):
+    from repro.profiling.interp import Machine
+
+    original = Machine.restore_state
+
+    def skewed(self, state):
+        frame = original(self, state)
+        self.executed -= 1
+        return frame
+
+    monkeypatch.setattr(Machine, "restore_state", skewed)
+    caught = 0
+    for seed in range(4):
+        detail = run_oracle(
+            "checkpoint", _spec(seed),
+            derive_rng("anchor-test", seed, "checkpoint"),
+        )
+        if detail is not None:
+            caught += 1
+    assert caught > 0
+
+
+def test_campaign_failures_are_anchored_and_sidecars_roundtrip(
+    tmp_path, monkeypatch
+):
+    """A failure found by the campaign carries a snapshot, the corpus
+    writes it as a sidecar, and replay uses it."""
+    import repro.testkit.oracles as oracles_mod
+
+    monkeypatch.setitem(
+        oracles_mod.ORACLES, "cost", lambda spec, rng: "synthetic failure"
+    )
+    report = run_campaign(seed=3, iterations=5, oracles=["cost"],
+                          max_failures=1)
+    (failure,) = report.failures
+    assert failure.snapshot is not None
+    assert failure.snapshot["schema"] == SNAPSHOT_SCHEMA
+
+    path = save_reproducer(str(tmp_path), failure)
+    sidecar = os.path.splitext(path)[0] + ".snapshot.json"
+    assert os.path.exists(sidecar)
+    assert json.load(open(sidecar))["schema"] == SNAPSHOT_SCHEMA
+
+    monkeypatch.undo()  # un-sabotage: the "bug" is now fixed
+    (entry,) = load_corpus(str(tmp_path))
+    assert entry.snapshot is not None
+    assert replay_entry(entry) is None
+
+
+def test_corrupt_sidecar_degrades_to_cold_replay(tmp_path, monkeypatch):
+    import repro.testkit.oracles as oracles_mod
+
+    monkeypatch.setitem(
+        oracles_mod.ORACLES, "cost", lambda spec, rng: "synthetic failure"
+    )
+    report = run_campaign(seed=3, iterations=5, oracles=["cost"],
+                          max_failures=1)
+    path = save_reproducer(str(tmp_path), report.failures[0])
+    monkeypatch.undo()
+
+    sidecar = os.path.splitext(path)[0] + ".snapshot.json"
+    with open(sidecar, "w") as handle:
+        handle.write("{torn")
+    (entry,) = load_corpus(str(tmp_path))
+    assert entry.snapshot is None  # corrupt sidecar ignored
+    assert replay_entry(entry) is None  # ...and replay still works
+
+
+def test_checked_in_corpus_sidecars_apply():
+    """Every checked-in reproducer with a sidecar must replay from it."""
+    corpus_dir = os.path.join(os.path.dirname(__file__), "corpus")
+    entries = load_corpus(corpus_dir)
+    with_anchor = [e for e in entries if e.snapshot is not None]
+    assert with_anchor, "checked-in corpus should carry snapshot sidecars"
+    for entry in with_anchor:
+        assert replay_anchor(entry.source, entry.snapshot) is None, entry.name
